@@ -1,0 +1,103 @@
+// Command srb-client simulates a fleet of mobile clients against a running
+// srb-server: each client follows the random-waypoint model, reports its
+// location only when it exits its granted safe region, and answers probes.
+// Optionally it also acts as an application server, registering a query
+// workload and printing result pushes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"srb/internal/geom"
+	"srb/internal/mobility"
+	"srb/internal/query"
+	"srb/internal/remote"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7777", "server address")
+		n        = flag.Int("n", 100, "number of mobile clients")
+		seed     = flag.Int64("seed", 1, "mobility seed")
+		speed    = flag.Float64("speed", 0.01, "mean speed v̄ per time unit")
+		period   = flag.Float64("period", 0.1, "mean constant-movement period t̄v")
+		tick     = flag.Duration("tick", 50*time.Millisecond, "wall time per simulated 0.05 time units")
+		duration = flag.Duration("for", 30*time.Second, "how long to run")
+		nRange   = flag.Int("range", 3, "range queries to register")
+		nKNN     = flag.Int("knn", 3, "kNN queries to register")
+		verbose  = flag.Bool("v", false, "print result pushes")
+	)
+	flag.Parse()
+
+	space := geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	starts := mobility.StartPositions(*seed, *n, space)
+	clients := make([]*remote.MobileClient, *n)
+	walkers := make([]*mobility.Waypoint, *n)
+	for i := 0; i < *n; i++ {
+		walkers[i] = mobility.NewWaypoint(*seed, uint64(i), space, *speed, *period, starts[i])
+		c, err := remote.DialClient(*addr, uint64(i), starts[i])
+		if err != nil {
+			log.Fatalf("dial client %d: %v", i, err)
+		}
+		clients[i] = c
+		defer c.Close()
+	}
+	fmt.Printf("%d clients connected to %s\n", *n, *addr)
+
+	app, err := remote.DialApp(*addr)
+	if err != nil {
+		log.Fatalf("dial app: %v", err)
+	}
+	defer app.Close()
+	rng := rand.New(rand.NewSource(*seed * 31))
+	qid := uint64(time.Now().UnixNano()) % 1000000 * 1000 // avoid collisions across runs
+	for i := 0; i < *nRange; i++ {
+		qid++
+		x, y := rng.Float64()*0.9, rng.Float64()*0.9
+		res, err := app.RegisterRange(query.ID(qid), geom.R(x, y, x+0.1, y+0.1))
+		if err != nil {
+			log.Fatalf("register range: %v", err)
+		}
+		fmt.Printf("range query %d: %d initial results\n", qid, len(res))
+	}
+	for i := 0; i < *nKNN; i++ {
+		qid++
+		res, err := app.RegisterKNN(query.ID(qid), geom.Pt(rng.Float64(), rng.Float64()), 1+rng.Intn(5), true)
+		if err != nil {
+			log.Fatalf("register knn: %v", err)
+		}
+		fmt.Printf("kNN query %d: initial results %v\n", qid, res)
+	}
+
+	go func() {
+		for u := range app.Updates() {
+			if *verbose {
+				fmt.Printf("query %d -> %v\n", u.Query, u.Results)
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(*duration)
+	ticker := time.NewTicker(*tick)
+	defer ticker.Stop()
+	t := 0.0
+	for time.Now().Before(deadline) {
+		<-ticker.C
+		t += 0.05
+		for i, c := range clients {
+			c.Tick(walkers[i].At(t))
+		}
+	}
+
+	var updates, probes int64
+	for _, c := range clients {
+		u, p := c.Stats()
+		updates += u
+		probes += p
+	}
+	fmt.Printf("done: %d updates sent, %d probes answered over %.1f time units\n", updates, probes, t)
+}

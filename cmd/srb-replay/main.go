@@ -1,0 +1,171 @@
+// Command srb-replay records and replays monitoring workload traces.
+//
+// Recording generates a synthetic random-waypoint workload against a live
+// monitor, capturing every operation and every probe answer as JSON lines:
+//
+//	srb-replay -record trace.jsonl -n 500 -duration 10
+//
+// Replaying reconstructs the run from the trace. With -exact the recorded
+// probe answers are fed back, reproducing the original run bit for bit;
+// without it probes are answered from last-reported positions (a valid but
+// possibly different run):
+//
+//	srb-replay -replay trace.jsonl -exact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"srb/internal/core"
+	"srb/internal/geom"
+	"srb/internal/mobility"
+	"srb/internal/query"
+	"srb/internal/trace"
+)
+
+func main() {
+	var (
+		recordPath = flag.String("record", "", "generate a workload and record it to this file")
+		replayPath = flag.String("replay", "", "replay a trace from this file")
+		exact      = flag.Bool("exact", true, "feed recorded probe answers back during replay")
+		n          = flag.Int("n", 500, "objects (record mode)")
+		w          = flag.Int("w", 16, "queries (record mode)")
+		duration   = flag.Float64("duration", 10, "time units (record mode)")
+		seed       = flag.Int64("seed", 1, "workload seed (record mode)")
+		gridM      = flag.Int("grid", 16, "query grid resolution M")
+	)
+	flag.Parse()
+
+	switch {
+	case *recordPath != "":
+		if err := recordWorkload(*recordPath, *n, *w, *duration, *seed, *gridM); err != nil {
+			log.Fatal(err)
+		}
+	case *replayPath != "":
+		if err := replayWorkload(*replayPath, *exact, *gridM); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func recordWorkload(path string, n, w int, duration float64, seed int64, gridM int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rec := trace.NewRecorder(f)
+
+	rng := rand.New(rand.NewSource(seed))
+	space := geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	pos := map[uint64]geom.Point{}
+	mon := core.New(core.Options{GridM: gridM},
+		rec.WrapProber(core.ProberFunc(func(id uint64) geom.Point { return pos[id] })), nil)
+	regions := map[uint64]geom.Rect{}
+	apply := func(ups []core.SafeRegionUpdate) {
+		for _, u := range ups {
+			regions[u.Object] = u.Region
+		}
+	}
+
+	starts := mobility.StartPositions(seed, n, space)
+	walkers := make([]*mobility.Waypoint, n)
+	for i := 0; i < n; i++ {
+		id := uint64(i)
+		walkers[i] = mobility.NewWaypoint(seed, id, space, 0.01, 0.2, starts[i])
+		pos[id] = starts[i]
+		if err := rec.Add(0, id, starts[i]); err != nil {
+			return err
+		}
+		apply(mon.AddObject(id, starts[i]))
+	}
+	for q := 1; q <= w; q++ {
+		qid := query.ID(q)
+		switch q % 4 {
+		case 0:
+			x, y := rng.Float64()*0.8, rng.Float64()*0.8
+			r := geom.R(x, y, x+0.1, y+0.1)
+			_ = rec.RegisterRange(0, qid, r)
+			if _, ups, err := mon.RegisterRange(qid, r); err == nil {
+				apply(ups)
+			}
+		case 1:
+			pt := geom.Pt(rng.Float64(), rng.Float64())
+			k := 1 + rng.Intn(5)
+			_ = rec.RegisterKNN(0, qid, pt, k, true)
+			if _, ups, err := mon.RegisterKNN(qid, pt, k, true); err == nil {
+				apply(ups)
+			}
+		case 2:
+			pt := geom.Pt(rng.Float64(), rng.Float64())
+			_ = rec.RegisterWithinDistance(0, qid, pt, 0.1)
+			if _, ups, err := mon.RegisterWithinDistance(qid, pt, 0.1); err == nil {
+				apply(ups)
+			}
+		default:
+			x, y := rng.Float64()*0.8, rng.Float64()*0.8
+			r := geom.R(x, y, x+0.15, y+0.15)
+			_ = rec.RegisterCount(0, qid, r)
+			if _, ups, err := mon.RegisterCount(qid, r); err == nil {
+				apply(ups)
+			}
+		}
+	}
+	for t := 0.0; t < duration; t += 0.02 {
+		for i := 0; i < n; i++ {
+			id := uint64(i)
+			np := walkers[i].At(t)
+			pos[id] = np
+			if !regions[id].Contains(np) {
+				_ = rec.Update(t, id, np)
+				mon.SetTime(t)
+				apply(mon.Update(id, np))
+			}
+		}
+	}
+	if err := rec.Flush(); err != nil {
+		return err
+	}
+	st := mon.Stats()
+	fmt.Printf("recorded %d events to %s (%d updates, %d probes)\n",
+		rec.Events(), path, st.SourceUpdates, st.Probes)
+	return nil
+}
+
+func replayWorkload(path string, exact bool, gridM int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	start := time.Now()
+	var st trace.Stats
+	var mon *core.Monitor
+	if exact {
+		mon, st, err = trace.ReplayExact(f, core.Options{GridM: gridM})
+	} else {
+		pos := map[uint64]geom.Point{}
+		mon = core.New(core.Options{GridM: gridM}, core.ProberFunc(func(id uint64) geom.Point {
+			return pos[id]
+		}), nil)
+		st, err = trace.Replay(f, mon)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("replayed %d events in %v: %d objects, %d queries\n",
+		st.Events, elapsed.Round(time.Millisecond), st.Objects, st.Queries)
+	s := mon.Stats()
+	fmt.Printf("server work: %d updates, %d probes, %d reevaluations, %d safe regions\n",
+		s.SourceUpdates, s.Probes, s.Reevaluations, s.SafeRegionsBuilt)
+	return nil
+}

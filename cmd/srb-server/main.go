@@ -1,0 +1,63 @@
+// Command srb-server runs a standalone safe-region monitoring server (the
+// database server of Figure 1.1) on a TCP port, speaking the line-JSON wire
+// protocol of package wire. Mobile clients (e.g. cmd/srb-client) connect to
+// report locations; application servers register continuous range and kNN
+// queries and receive result pushes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"srb/internal/core"
+	"srb/internal/geom"
+	"srb/internal/remote"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7777", "listen address")
+		gridM      = flag.Int("grid", 50, "query index grid resolution M")
+		maxSpeed   = flag.Float64("maxspeed", 0, "max object speed; >0 enables the reachability circle (§6.1)")
+		steadiness = flag.Float64("steadiness", 0, "steady-movement parameter D in [0,1] (§6.2)")
+		neighbor   = flag.Int("cellneighborhood", 0, "adaptive safe-region cell radius (§7.4 extension)")
+		admin      = flag.String("admin", "", "optional HTTP admin address (/stats, /snapshot, /svg)")
+	)
+	flag.Parse()
+
+	s, err := remote.NewServer(*addr, core.Options{
+		Space:            geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
+		GridM:            *gridM,
+		MaxSpeed:         *maxSpeed,
+		Steadiness:       *steadiness,
+		CellNeighborhood: *neighbor,
+	})
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("srb-server listening on %s (M=%d, maxspeed=%g, D=%g)\n",
+		s.Addr(), *gridM, *maxSpeed, *steadiness)
+	if *admin != "" {
+		go func() {
+			fmt.Printf("admin endpoint on http://%s/stats\n", *admin)
+			if err := http.ListenAndServe(*admin, s.AdminHandler()); err != nil {
+				log.Printf("admin server: %v", err)
+			}
+		}()
+	}
+
+	go func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		fmt.Println("shutting down")
+		_ = s.Close()
+	}()
+	if err := s.Serve(); err != nil {
+		log.Printf("server stopped: %v", err)
+	}
+}

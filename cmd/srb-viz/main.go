@@ -1,0 +1,96 @@
+// Command srb-viz runs a short simulated monitoring workload and renders the
+// final server state — object positions, safe regions, range rectangles and
+// kNN quarantine circles — to an SVG file. Useful for inspecting the
+// geometry the framework maintains.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"srb/internal/core"
+	"srb/internal/geom"
+	"srb/internal/mobility"
+	"srb/internal/query"
+	"srb/internal/viz"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "srb.svg", "output SVG path")
+		n        = flag.Int("n", 300, "number of objects")
+		nRange   = flag.Int("range", 4, "range queries")
+		nKNN     = flag.Int("knn", 4, "kNN queries")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		duration = flag.Float64("duration", 5, "simulated time units to run before the snapshot")
+		size     = flag.Int("size", 800, "SVG size in pixels")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	space := geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	pos := map[uint64]geom.Point{}
+	mon := core.New(core.Options{GridM: 16}, core.ProberFunc(func(id uint64) geom.Point {
+		return pos[id]
+	}), nil)
+
+	regions := map[uint64]geom.Rect{}
+	deliver := func(ups []core.SafeRegionUpdate) {
+		for _, u := range ups {
+			regions[u.Object] = u.Region
+		}
+	}
+
+	starts := mobility.StartPositions(*seed, *n, space)
+	walkers := make([]*mobility.Waypoint, *n)
+	var objIDs []uint64
+	for i := 0; i < *n; i++ {
+		id := uint64(i)
+		walkers[i] = mobility.NewWaypoint(*seed, id, space, 0.01, 0.2, starts[i])
+		pos[id] = starts[i]
+		deliver(mon.AddObject(id, starts[i]))
+		objIDs = append(objIDs, id)
+	}
+	var qids []query.ID
+	for q := 1; q <= *nRange; q++ {
+		x, y := rng.Float64()*0.8, rng.Float64()*0.8
+		if _, ups, err := mon.RegisterRange(query.ID(q), geom.R(x, y, x+0.1, y+0.1)); err == nil {
+			deliver(ups)
+			qids = append(qids, query.ID(q))
+		}
+	}
+	for q := *nRange + 1; q <= *nRange+*nKNN; q++ {
+		if _, ups, err := mon.RegisterKNN(query.ID(q), geom.Pt(rng.Float64(), rng.Float64()), 1+rng.Intn(5), true); err == nil {
+			deliver(ups)
+			qids = append(qids, query.ID(q))
+		}
+	}
+
+	for t := 0.0; t < *duration; t += 0.02 {
+		mon.SetTime(t)
+		for i := 0; i < *n; i++ {
+			id := uint64(i)
+			np := walkers[i].At(t)
+			pos[id] = np
+			if !regions[id].Contains(np) {
+				deliver(mon.Update(id, np))
+			}
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	snap := viz.Capture(mon, objIDs, qids)
+	if err := viz.Render(f, snap, viz.Options{Size: *size, Space: space, ShowSafeRegions: true, ShowQuarantines: true}); err != nil {
+		log.Fatal(err)
+	}
+	st := mon.Stats()
+	fmt.Printf("wrote %s (%d objects, %d queries; %d updates, %d probes during warmup)\n",
+		*out, *n, len(qids), st.SourceUpdates, st.Probes)
+}

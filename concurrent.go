@@ -1,0 +1,136 @@
+package srb
+
+import (
+	"io"
+	"sync"
+)
+
+// ConcurrentMonitor wraps a Monitor with a mutex so it can be shared by
+// multiple goroutines (e.g. one per client connection). The framework's
+// sequential-processing assumption is preserved by construction: operations
+// are serialized, exactly as the paper's server model requires. For a
+// channel-based alternative see internal/remote, which serializes through an
+// event loop instead.
+type ConcurrentMonitor struct {
+	mu  sync.Mutex
+	mon *Monitor
+}
+
+// NewConcurrentMonitor creates a thread-safe monitoring server. The prober is
+// invoked while the internal lock is held: it must not call back into the
+// monitor.
+func NewConcurrentMonitor(opt Options, prober Prober, onUpdate func(ResultUpdate)) *ConcurrentMonitor {
+	return &ConcurrentMonitor{mon: NewMonitor(opt, prober, onUpdate)}
+}
+
+// SetTime advances the logical clock.
+func (c *ConcurrentMonitor) SetTime(t float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mon.SetTime(t)
+}
+
+// AddObject registers a moving object.
+func (c *ConcurrentMonitor) AddObject(id uint64, p Point) []SafeRegionUpdate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mon.AddObject(id, p)
+}
+
+// RemoveObject deregisters an object.
+func (c *ConcurrentMonitor) RemoveObject(id uint64) []SafeRegionUpdate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mon.RemoveObject(id)
+}
+
+// Update processes a source-initiated location update.
+func (c *ConcurrentMonitor) Update(id uint64, p Point) []SafeRegionUpdate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mon.Update(id, p)
+}
+
+// RegisterRange registers a continuous range query.
+func (c *ConcurrentMonitor) RegisterRange(id QueryID, rect Rect) ([]uint64, []SafeRegionUpdate, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mon.RegisterRange(id, rect)
+}
+
+// RegisterKNN registers a continuous kNN query.
+func (c *ConcurrentMonitor) RegisterKNN(id QueryID, pt Point, k int, ordered bool) ([]uint64, []SafeRegionUpdate, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mon.RegisterKNN(id, pt, k, ordered)
+}
+
+// RegisterCount registers an aggregate COUNT range query.
+func (c *ConcurrentMonitor) RegisterCount(id QueryID, rect Rect) (int, []SafeRegionUpdate, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mon.RegisterCount(id, rect)
+}
+
+// RegisterWithinDistance registers a circular range query.
+func (c *ConcurrentMonitor) RegisterWithinDistance(id QueryID, center Point, radius float64) ([]uint64, []SafeRegionUpdate, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mon.RegisterWithinDistance(id, center, radius)
+}
+
+// Deregister removes a query.
+func (c *ConcurrentMonitor) Deregister(id QueryID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mon.Deregister(id)
+}
+
+// Results returns a query's current results.
+func (c *ConcurrentMonitor) Results(id QueryID) ([]uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mon.Results(id)
+}
+
+// SafeRegion returns an object's current safe region.
+func (c *ConcurrentMonitor) SafeRegion(id uint64) (Rect, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mon.SafeRegion(id)
+}
+
+// Stats returns the server's work counters.
+func (c *ConcurrentMonitor) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mon.Stats()
+}
+
+// NumObjects returns the number of registered objects.
+func (c *ConcurrentMonitor) NumObjects() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mon.NumObjects()
+}
+
+// NumQueries returns the number of registered queries.
+func (c *ConcurrentMonitor) NumQueries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mon.NumQueries()
+}
+
+// SaveSnapshot serializes the monitor's durable state.
+func (c *ConcurrentMonitor) SaveSnapshot(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mon.SaveSnapshot(w)
+}
+
+// LoadSnapshot restores state into an empty monitor.
+func (c *ConcurrentMonitor) LoadSnapshot(r io.Reader) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mon.LoadSnapshot(r)
+}

@@ -1,0 +1,87 @@
+// Quickstart: register a range query and a kNN query over a handful of
+// moving objects and watch the safe-region protocol at work — updates are
+// sent only when an object leaves its safe region, yet the monitored results
+// are always exact.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"srb"
+)
+
+func main() {
+	// True object positions; the prober answers server probes from here.
+	positions := map[uint64]srb.Point{}
+	prober := srb.ProberFunc(func(id uint64) srb.Point { return positions[id] })
+
+	// Result changes are pushed as they happen.
+	mon := srb.NewMonitor(srb.Options{GridM: 10}, prober, func(u srb.ResultUpdate) {
+		fmt.Printf("  -> query %d results changed: %v\n", u.Query, u.Results)
+	})
+
+	// Clients remember the safe region the server granted them.
+	regions := map[uint64]srb.Rect{}
+	deliver := func(ups []srb.SafeRegionUpdate) {
+		for _, u := range ups {
+			regions[u.Object] = u.Region
+		}
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for id := uint64(1); id <= 20; id++ {
+		positions[id] = srb.Pt(rng.Float64(), rng.Float64())
+		deliver(mon.AddObject(id, positions[id]))
+	}
+
+	results, ups, err := mon.RegisterRange(1, srb.R(0.40, 0.40, 0.60, 0.60))
+	if err != nil {
+		panic(err)
+	}
+	deliver(ups)
+	fmt.Printf("range query 1 initial results: %v\n", results)
+
+	results, ups, err = mon.RegisterKNN(2, srb.Pt(0.5, 0.5), 3, true)
+	if err != nil {
+		panic(err)
+	}
+	deliver(ups)
+	fmt.Printf("kNN   query 2 initial results: %v (nearest first)\n", results)
+
+	// Move the objects in small random steps. The client-side protocol: a
+	// location update is sent if and only if the new position escapes the
+	// object's safe region.
+	updates := 0
+	moves := 0
+	for step := 0; step < 50; step++ {
+		mon.SetTime(float64(step) * 0.1)
+		for id := range positions {
+			p := positions[id]
+			np := srb.Pt(clamp(p.X+(rng.Float64()-0.5)*0.04), clamp(p.Y+(rng.Float64()-0.5)*0.04))
+			positions[id] = np
+			moves++
+			if !regions[id].Contains(np) {
+				updates++
+				deliver(mon.Update(id, np))
+			}
+		}
+	}
+
+	stats := mon.Stats()
+	fmt.Printf("\n%d position changes, but only %d location updates (%.1f%%), %d probes\n",
+		moves, updates, 100*float64(updates)/float64(moves), stats.Probes)
+	r1, _ := mon.Results(1)
+	r2, _ := mon.Results(2)
+	fmt.Printf("final results: range=%v knn=%v\n", r1, r2)
+}
+
+func clamp(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

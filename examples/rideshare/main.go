@@ -1,0 +1,118 @@
+// Rideshare dispatch: continuous order-sensitive 3-NN monitoring.
+//
+// Riders open the app at fixed pickup points; the dispatcher continuously
+// knows the three nearest drivers for each pickup, ordered by distance, so an
+// incoming request is matched instantly without querying every driver. The
+// monitor keeps the ranked lists exact while drivers transmit only on
+// safe-region exits — the paper's location-aware dispatch scenario.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"srb"
+	"srb/internal/mobility"
+)
+
+const (
+	nDrivers = 500
+	nPickups = 12
+	steps    = 200
+)
+
+func main() {
+	space := srb.R(0, 0, 1, 1)
+	drivers := make([]*mobility.Waypoint, nDrivers)
+	positions := make(map[uint64]srb.Point, nDrivers)
+	starts := mobility.StartPositions(2026, nDrivers, space)
+	for i := range drivers {
+		drivers[i] = mobility.NewWaypoint(2026, uint64(i), space, 0.015, 0.3, starts[i])
+		positions[uint64(i)] = starts[i]
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	pickups := make([]srb.Point, nPickups)
+	for i := range pickups {
+		pickups[i] = srb.Pt(0.1+0.8*rng.Float64(), 0.1+0.8*rng.Float64())
+	}
+
+	reorders := 0
+	mon := srb.NewMonitor(srb.Options{GridM: 16}, srb.ProberFunc(func(id uint64) srb.Point {
+		return positions[id]
+	}), func(u srb.ResultUpdate) { reorders++ })
+
+	regions := make(map[uint64]srb.Rect, nDrivers)
+	deliver := func(ups []srb.SafeRegionUpdate) {
+		for _, u := range ups {
+			regions[u.Object] = u.Region
+		}
+	}
+	for i := 0; i < nDrivers; i++ {
+		deliver(mon.AddObject(uint64(i), positions[uint64(i)]))
+	}
+	for i, p := range pickups {
+		res, ups, err := mon.RegisterKNN(srb.QueryID(i+1), p, 3, true)
+		if err != nil {
+			panic(err)
+		}
+		deliver(ups)
+		fmt.Printf("pickup %2d at (%.2f, %.2f): nearest drivers %v\n", i+1, p.X, p.Y, res)
+	}
+
+	updates := 0
+	for step := 1; step <= steps; step++ {
+		t := float64(step) * 0.05
+		mon.SetTime(t)
+		for i := 0; i < nDrivers; i++ {
+			id := uint64(i)
+			np := drivers[i].At(t)
+			positions[id] = np
+			if !regions[id].Contains(np) {
+				updates++
+				deliver(mon.Update(id, np))
+			}
+		}
+	}
+
+	stats := mon.Stats()
+	fmt.Printf("\nafter %d steps: %d updates, %d probes, %d ranking changes pushed\n",
+		steps, updates, stats.Probes, reorders)
+
+	// Verify the final rankings against brute force.
+	bad := 0
+	for i, p := range pickups {
+		got, _ := mon.Results(srb.QueryID(i + 1))
+		want := brute3NN(positions, p)
+		for j := range want {
+			if got[j] != want[j] {
+				bad++
+				break
+			}
+		}
+	}
+	fmt.Printf("rankings exact for %d/%d pickups\n", nPickups-bad, nPickups)
+}
+
+func brute3NN(pos map[uint64]srb.Point, q srb.Point) []uint64 {
+	type nd struct {
+		id uint64
+		d  float64
+	}
+	all := make([]nd, 0, len(pos))
+	for id, p := range pos {
+		all = append(all, nd{id, p.Dist(q)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].d != all[j].d {
+			return all[i].d < all[j].d
+		}
+		return all[i].id < all[j].id
+	})
+	out := make([]uint64, 3)
+	for i := 0; i < 3; i++ {
+		out[i] = all[i].id
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+// Tracking over the network: the full client/server system of Figure 1.1.
+//
+// A monitoring server is started on a loopback TCP port; mobile clients
+// connect and speak the wire protocol (hello, safe-region grants, probes,
+// source-initiated updates), and an application server registers a mixed
+// query workload and consumes the pushed result stream. The server runs with
+// both Section 6 enhancements enabled (maximum speed and steady movement).
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"srb"
+	"srb/internal/mobility"
+	"srb/internal/remote"
+)
+
+const (
+	nClients = 60
+	steps    = 120
+)
+
+func main() {
+	server, err := remote.NewServer("127.0.0.1:0", srb.Options{
+		GridM:      12,
+		MaxSpeed:   0.04, // 2·v̄ under the waypoint model below
+		Steadiness: 0.5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	server.SetLogf(nil)
+	go func() { _ = server.Serve() }()
+	defer server.Close()
+	fmt.Printf("monitoring server on %s\n", server.Addr())
+
+	// Mobile clients with random-waypoint movement.
+	space := srb.R(0, 0, 1, 1)
+	starts := mobility.StartPositions(31, nClients, space)
+	clients := make([]*remote.MobileClient, nClients)
+	walkers := make([]*mobility.Waypoint, nClients)
+	for i := range clients {
+		walkers[i] = mobility.NewWaypoint(31, uint64(i), space, 0.02, 0.3, starts[i])
+		c, err := remote.DialClient(server.Addr(), uint64(i), starts[i])
+		if err != nil {
+			panic(err)
+		}
+		clients[i] = c
+		defer c.Close()
+	}
+
+	// Application server: one geofence and one 5-NN tracker.
+	app, err := remote.DialApp(server.Addr())
+	if err != nil {
+		panic(err)
+	}
+	defer app.Close()
+
+	time.Sleep(100 * time.Millisecond) // let all hellos land
+	geofence, err := app.RegisterRange(1, srb.R(0.3, 0.3, 0.7, 0.7))
+	if err != nil {
+		panic(err)
+	}
+	nearest, err := app.RegisterKNN(2, srb.Pt(0.5, 0.5), 5, true)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("geofence initially: %d objects inside\n", len(geofence))
+	fmt.Printf("5-NN of the center: %v\n", nearest)
+
+	// Consume pushed result updates concurrently.
+	var mu sync.Mutex
+	pushes := 0
+	go func() {
+		for range app.Updates() {
+			mu.Lock()
+			pushes++
+			mu.Unlock()
+		}
+	}()
+
+	// Drive the fleet.
+	for step := 1; step <= steps; step++ {
+		t := float64(step) * 0.05
+		for i, c := range clients {
+			c.Tick(walkers[i].At(t))
+		}
+		time.Sleep(4 * time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond) // drain in-flight traffic
+
+	var updates, probes int64
+	for _, c := range clients {
+		u, p := c.Stats()
+		updates += u
+		probes += p
+	}
+	mu.Lock()
+	got := pushes
+	mu.Unlock()
+	fmt.Printf("\nfleet sent %d updates and answered %d probes over %d ticks (%d position fixes)\n",
+		updates, probes, steps, steps*nClients)
+	fmt.Printf("application server received %d result pushes\n", got)
+}

@@ -1,0 +1,3 @@
+module srb
+
+go 1.22

@@ -1,0 +1,497 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"srb/internal/geom"
+	"srb/internal/query"
+	"srb/internal/rtree"
+)
+
+// --- priority queue for best-first search (Algorithm 2) ----------------------
+
+type pqItem struct {
+	key   float64
+	seq   uint64 // tie-breaker: FIFO among equal keys, keeps runs deterministic
+	node  *rtree.Node
+	id    uint64
+	isObj bool
+	exact bool
+	pt    geom.Point // valid when exact
+}
+
+type evalPQ struct {
+	items []pqItem
+	seq   uint64
+}
+
+func (p *evalPQ) Len() int { return len(p.items) }
+func (p *evalPQ) Less(i, j int) bool {
+	if p.items[i].key != p.items[j].key {
+		return p.items[i].key < p.items[j].key
+	}
+	return p.items[i].seq < p.items[j].seq
+}
+func (p *evalPQ) Swap(i, j int)      { p.items[i], p.items[j] = p.items[j], p.items[i] }
+func (p *evalPQ) Push(x interface{}) { p.items = append(p.items, x.(pqItem)) }
+func (p *evalPQ) Pop() interface{} {
+	old := p.items
+	n := len(old)
+	it := old[n-1]
+	p.items = old[:n-1]
+	return it
+}
+
+func (p *evalPQ) push(it pqItem) {
+	it.seq = p.seq
+	p.seq++
+	heap.Push(p, it)
+}
+
+func (p *evalPQ) pop() pqItem { return heap.Pop(p).(pqItem) }
+
+func (p *evalPQ) peekKey() (float64, bool) {
+	if len(p.items) == 0 {
+		return 0, false
+	}
+	return p.items[0].key, true
+}
+
+// --- query registration -------------------------------------------------------
+
+// RegisterRange registers a continuous range query and returns its initial
+// result together with safe-region refreshes for every object probed during
+// the evaluation.
+func (m *Monitor) RegisterRange(id query.ID, rect geom.Rect) ([]uint64, []SafeRegionUpdate, error) {
+	if _, ok := m.queries[id]; ok {
+		return nil, nil, fmt.Errorf("core: query %d already registered", id)
+	}
+	q := query.NewRange(id, rect)
+	m.beginOp()
+	m.stats.NewQueryEvals++
+	results := m.evalRange(q)
+	m.setResults(q, results)
+	m.queries[id] = q
+	m.grid.Insert(q)
+	updates := m.refreshProbedAgainst(q)
+	return append([]uint64(nil), results...), updates, nil
+}
+
+// RegisterKNN registers a continuous kNN query and returns its initial
+// result (ordered by distance) together with safe-region refreshes for every
+// object probed during the evaluation.
+func (m *Monitor) RegisterKNN(id query.ID, pt geom.Point, k int, orderSensitive bool) ([]uint64, []SafeRegionUpdate, error) {
+	if _, ok := m.queries[id]; ok {
+		return nil, nil, fmt.Errorf("core: query %d already registered", id)
+	}
+	q := query.NewKNN(id, pt, k, orderSensitive)
+	m.beginOp()
+	m.stats.NewQueryEvals++
+	m.evalKNN(q)
+	m.queries[id] = q
+	m.grid.Insert(q)
+	updates := m.refreshProbedAgainst(q)
+	return append([]uint64(nil), q.Results...), updates, nil
+}
+
+// RegisterWithinDistance registers a circular range query: the monitor
+// continuously maintains the set of objects within radius of center. Its
+// quarantine area is the circle itself; safe regions reuse the inscribed
+// rectangle (members) and complement (non-members) constructions of Section
+// 5.2.
+func (m *Monitor) RegisterWithinDistance(id query.ID, center geom.Point, radius float64) ([]uint64, []SafeRegionUpdate, error) {
+	if _, ok := m.queries[id]; ok {
+		return nil, nil, fmt.Errorf("core: query %d already registered", id)
+	}
+	q := query.NewWithinDistance(id, center, radius)
+	m.beginOp()
+	m.stats.NewQueryEvals++
+	results := m.evalCircle(q)
+	m.setResults(q, results)
+	m.queries[id] = q
+	m.grid.Insert(q)
+	updates := m.refreshProbedAgainst(q)
+	return append([]uint64(nil), results...), updates, nil
+}
+
+// evalCircle evaluates a circular range query over safe regions with lazy
+// probes, mirroring evalRange with circle containment tests.
+func (m *Monitor) evalCircle(q *query.Query) []uint64 {
+	c := q.Circle()
+	var results []uint64
+	m.tree.Search(c.BBox(), func(it rtree.Item) bool {
+		r := m.repr(it.ID)
+		lo, hi := r.MinDist(q.Point), r.MaxDist(q.Point)
+		if lo > c.R {
+			return true
+		}
+		if hi <= c.R {
+			results = append(results, it.ID)
+			return true
+		}
+		if m.virtualProbe(it.ID) {
+			r = m.repr(it.ID)
+			lo, hi = r.MinDist(q.Point), r.MaxDist(q.Point)
+			if lo > c.R {
+				m.stats.ProbesAvoided++
+				return true
+			}
+			if hi <= c.R {
+				m.stats.ProbesAvoided++
+				results = append(results, it.ID)
+				return true
+			}
+		}
+		p := m.probe(it.ID)
+		if q.Point.Dist(p) <= c.R {
+			results = append(results, it.ID)
+		}
+		return true
+	})
+	return results
+}
+
+// RegisterCount registers an aggregate COUNT range query (the Section 8
+// extension): the monitor continuously maintains how many objects are inside
+// rect, publishing only the count on changes. Returns the initial count.
+func (m *Monitor) RegisterCount(id query.ID, rect geom.Rect) (int, []SafeRegionUpdate, error) {
+	if _, ok := m.queries[id]; ok {
+		return 0, nil, fmt.Errorf("core: query %d already registered", id)
+	}
+	q := query.NewCountRange(id, rect)
+	m.beginOp()
+	m.stats.NewQueryEvals++
+	results := m.evalRange(q)
+	m.setResults(q, results)
+	m.queries[id] = q
+	m.grid.Insert(q)
+	updates := m.refreshProbedAgainst(q)
+	return len(results), updates, nil
+}
+
+// Deregister removes a query from the system.
+func (m *Monitor) Deregister(id query.ID) bool {
+	q, ok := m.queries[id]
+	if !ok {
+		return false
+	}
+	for _, rid := range q.Results {
+		m.unnoteResult(q, rid)
+	}
+	m.grid.Remove(q)
+	delete(m.queries, id)
+	return true
+}
+
+// refreshProbedAgainst updates the safe region of every object probed during
+// the evaluation of new query q. Per Section 5 (case 1), the refreshed region
+// is the intersection of the current safe region with the region induced by
+// the new query alone, since no existing quarantine area changed.
+func (m *Monitor) refreshProbedAgainst(q *query.Query) []SafeRegionUpdate {
+	// Probes reveal movement that can change *other* queries' results; the
+	// freshly registered query q itself was just evaluated on exact points.
+	m.settleProbes(nil, q)
+	var out []SafeRegionUpdate
+	for _, pid := range m.sortedProbedIDs() {
+		loc := m.probedNow[pid]
+		st := m.objects[pid]
+		cell := m.grid.NeighborhoodRect(loc, m.opt.CellNeighborhood)
+		srQ := m.safeRegionForQuery(q, st, cell)
+		st.safe = clampSafe(st.safe.Intersect(srQ), loc)
+		m.tree.Update(pid, st.safe)
+		out = append(out, SafeRegionUpdate{Object: pid, Region: st.safe, Probed: true})
+	}
+	out = append(out, m.flushShrunk(nil)...)
+	m.probedNow = make(map[uint64]geom.Point)
+	return out
+}
+
+// --- range evaluation (Section 4.1) -------------------------------------------
+
+// evalRange evaluates a new range query over safe regions: fully covered
+// regions are results, partially overlapping objects are probed lazily,
+// skipping probes the reachability circle can resolve.
+func (m *Monitor) evalRange(q *query.Query) []uint64 {
+	var results []uint64
+	m.tree.Search(q.Rect, func(it rtree.Item) bool {
+		r := m.repr(it.ID)
+		if !r.Intersects(q.Rect) {
+			return true // representation tightened since indexing
+		}
+		if q.Rect.ContainsRect(r) {
+			results = append(results, it.ID)
+			return true
+		}
+		// Try a reachability-circle virtual probe before a real one
+		// (Section 6.1): the durably shrunken region may already decide
+		// membership.
+		if m.virtualProbe(it.ID) {
+			r = m.repr(it.ID)
+			if q.Rect.ContainsRect(r) {
+				m.stats.ProbesAvoided++
+				results = append(results, it.ID)
+				return true
+			}
+			if !r.Intersects(q.Rect) {
+				m.stats.ProbesAvoided++
+				return true
+			}
+		}
+		p := m.probe(it.ID)
+		if q.Rect.Contains(p) {
+			results = append(results, it.ID)
+		}
+		return true
+	})
+	return results
+}
+
+// --- kNN evaluation (Section 4.2, Algorithm 2) ---------------------------------
+
+const noNextElement = -1.0
+
+// evalKNN evaluates a new kNN query from scratch over safe regions with lazy
+// probes, filling q.Results and q.QRadius.
+func (m *Monitor) evalKNN(q *query.Query) {
+	var ids []uint64
+	var maxK, nextMin float64
+	if q.OrderSensitive {
+		ids, maxK, nextMin = m.knnOrderSensitive(q.Point, q.K, nil)
+	} else {
+		ids, maxK, nextMin = m.knnOrderInsensitive(q.Point, q.K, nil)
+	}
+	m.setResults(q, ids)
+	q.QRadius = m.quarantineRadius(maxK, nextMin)
+}
+
+// quarantineSplit positions the quarantine circle within its legal interval
+// [Δ(q, o_k), δ(q, o_{k+1})). The paper uses the midpoint (0.5); we default
+// to an asymmetric split closer to the k-th NN: the k-th is a single object
+// whose annular safe region exits cheaply in the tangential direction,
+// whereas every nearby non-result is corner-pinched against the circle, so
+// granting the outside the larger share of the gap reduces total updates.
+const quarantineSplit = 0.5
+
+// quarantineRadius places the quarantine circle between the k-th NN's
+// maximum distance and the next element's minimum distance (Section 3.3).
+// With no next element the radius still covers the whole space.
+func (m *Monitor) quarantineRadius(maxK, nextMin float64) float64 {
+	if nextMin == noNextElement {
+		return maxK + m.opt.Space.Width() + m.opt.Space.Height()
+	}
+	if nextMin < maxK {
+		nextMin = maxK
+	}
+	return maxK + quarantineSplit*(nextMin-maxK)
+}
+
+// knnOrderSensitive is Algorithm 2: best-first search holding at most one
+// unresolved safe-region object, probing only when the order cannot be
+// decided (lazy probes). exclude (optional) skips objects, as required by
+// the constrained search of reevaluation case 1.
+//
+// It returns the ordered result IDs, the maximum distance bound of the k-th
+// result, and the minimum distance of the next queue element (noNextElement
+// when the queue ran dry).
+func (m *Monitor) knnOrderSensitive(qp geom.Point, k int, exclude map[uint64]bool) ([]uint64, float64, float64) {
+	pq := &evalPQ{}
+	if m.tree.Len() > 0 {
+		pq.push(pqItem{key: 0, node: m.tree.Root()})
+	}
+	var results []uint64
+	var lastMax float64 // Δ bound of the last appended result
+	var held *pqItem
+
+	appendResult := func(it pqItem) {
+		results = append(results, it.id)
+		_, hi := m.itemBounds(qp, it)
+		lastMax = hi
+	}
+
+	for len(results) < k && (pq.Len() > 0 || held != nil) {
+		if pq.Len() == 0 {
+			// Queue exhausted with one object still held: it is the last
+			// candidate, so it completes the result.
+			appendResult(*held)
+			held = nil
+			break
+		}
+		u := pq.pop()
+		if !u.isObj {
+			for i := 0; i < u.node.Count(); i++ {
+				if u.node.IsLeaf() {
+					it := u.node.ItemAt(i)
+					if exclude[it.ID] {
+						continue
+					}
+					lo, _ := m.bounds(qp, it.ID)
+					pq.push(pqItem{key: lo, id: it.ID, isObj: true})
+				} else {
+					child := u.node.ChildAt(i)
+					pq.push(pqItem{key: u.node.RectAt(i).MinDist(qp), node: child})
+				}
+			}
+			continue
+		}
+		if held != nil {
+			_, heldMax := m.itemBounds(qp, *held)
+			if heldMax <= u.key {
+				appendResult(*held)
+				held = nil
+				if len(results) == k {
+					pq.push(u) // put u back for the radius computation
+					break
+				}
+			} else {
+				h := *held
+				held = nil
+				// Virtual probes (Section 6.1) may shrink either safe region
+				// enough to decide the order without a real probe.
+				vh := !h.exact && m.virtualProbe(h.id)
+				vu := !u.exact && m.virtualProbe(u.id)
+				if vh || vu {
+					lo, _ := m.bounds(qp, h.id)
+					pq.push(pqItem{key: lo, id: h.id, isObj: true})
+					if vu {
+						u.key, _ = m.bounds(qp, u.id)
+					}
+					pq.push(u)
+					continue
+				}
+				// Still ambiguous: probe the held object (mandatory by
+				// laziness), re-enqueue both, and continue.
+				pq.push(u)
+				p := m.probe(h.id)
+				pq.push(pqItem{key: qp.Dist(p), id: h.id, isObj: true, exact: true, pt: p})
+				continue
+			}
+		}
+		if !u.exact && !m.isExact(u.id) && m.opt.EagerProbes {
+			// Ablation: probe immediately rather than holding lazily.
+			p := m.probe(u.id)
+			u = pqItem{key: qp.Dist(p), id: u.id, isObj: true, exact: true, pt: p}
+			pq.push(u)
+			continue
+		}
+		if u.exact || m.isExact(u.id) {
+			appendResult(u)
+		} else {
+			held = &u
+		}
+	}
+	if held != nil && len(results) < k {
+		appendResult(*held)
+	}
+	nextMin := noNextElement
+	if pq.Len() > 0 {
+		nextMin = pq.pop().key
+	}
+	return results, lastMax, nextMin
+}
+
+// knnOrderInsensitive evaluates a set-semantics kNN query: up to k objects
+// are held simultaneously, and a probe is issued only when the queue front
+// could displace the worst held candidate (Section 4.2's order-insensitive
+// variant, which needs fewer probes).
+func (m *Monitor) knnOrderInsensitive(qp geom.Point, k int, exclude map[uint64]bool) ([]uint64, float64, float64) {
+	pq := &evalPQ{}
+	if m.tree.Len() > 0 {
+		pq.push(pqItem{key: 0, node: m.tree.Root()})
+	}
+	var held []pqItem
+
+	worstHeld := func() (int, float64) {
+		wi, wv := -1, -1.0
+		for i := range held {
+			if _, hi := m.itemBounds(qp, held[i]); hi > wv {
+				wi, wv = i, hi
+			}
+		}
+		return wi, wv
+	}
+
+	for {
+		if len(held) == k {
+			topKey, ok := pq.peekKey()
+			wi, wv := worstHeld()
+			if !ok || wv <= topKey {
+				break // all held are certainly among the k nearest
+			}
+			w := held[wi]
+			if !w.exact && !m.isExact(w.id) {
+				// A virtual probe may shrink the candidate's region enough to
+				// keep it; otherwise a lazy real probe resolves its distance.
+				if m.virtualProbe(w.id) {
+					continue
+				}
+				p := m.probe(w.id)
+				held[wi] = pqItem{key: qp.Dist(p), id: w.id, isObj: true, exact: true, pt: p}
+				continue
+			}
+			// The worst candidate is an exact point but the queue front is
+			// still potentially closer: evict it back into the queue (with a
+			// refreshed key — its stale enqueue-time key may underestimate
+			// after a probe) and keep searching.
+			held = append(held[:wi], held[wi+1:]...)
+			w.key, _ = m.itemBounds(qp, w)
+			pq.push(w)
+		}
+		if pq.Len() == 0 {
+			break
+		}
+		u := pq.pop()
+		if !u.isObj {
+			for i := 0; i < u.node.Count(); i++ {
+				if u.node.IsLeaf() {
+					it := u.node.ItemAt(i)
+					if exclude[it.ID] {
+						continue
+					}
+					lo, _ := m.bounds(qp, it.ID)
+					pq.push(pqItem{key: lo, id: it.ID, isObj: true})
+				} else {
+					pq.push(pqItem{key: u.node.RectAt(i).MinDist(qp), node: u.node.ChildAt(i)})
+				}
+			}
+			continue
+		}
+		held = append(held, u)
+	}
+
+	ids := make([]uint64, 0, len(held))
+	maxK := 0.0
+	for _, h := range held {
+		ids = append(ids, h.id)
+		if _, hi := m.itemBounds(qp, h); hi > maxK {
+			maxK = hi
+		}
+	}
+	nextMin := noNextElement
+	if pq.Len() > 0 {
+		nextMin = pq.pop().key
+	}
+	return ids, maxK, nextMin
+}
+
+// itemBounds returns [δ, Δ] for a queue item, using the exact point when the
+// item was resolved by a probe.
+func (m *Monitor) itemBounds(qp geom.Point, it pqItem) (float64, float64) {
+	if it.exact {
+		d := qp.Dist(it.pt)
+		return d, d
+	}
+	return m.bounds(qp, it.id)
+}
+
+// constrained1NN finds the nearest object excluding the given set, returning
+// the winner, the maximum-distance bound of the winner, the minimum distance
+// of the runner-up (noNextElement when none), and whether a winner exists.
+// Used by reevaluation case 1 to find a replacement k-th NN.
+func (m *Monitor) constrained1NN(qp geom.Point, exclude map[uint64]bool) (uint64, float64, float64, bool) {
+	ids, maxK, nextMin := m.knnOrderSensitive(qp, 1, exclude)
+	if len(ids) == 0 {
+		return 0, 0, 0, false
+	}
+	return ids[0], maxK, nextMin, true
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"srb/internal/geom"
+	"srb/internal/query"
+)
+
+// TestChaoticUpdatesNeverCorruptState feeds the monitor protocol-violating
+// traffic — objects jumping arbitrarily without honoring safe regions, as
+// happens under extreme communication delays — and asserts the server's
+// structures stay internally consistent and every published result references
+// live objects. (Result accuracy is deliberately not asserted: the protocol's
+// preconditions are being violated.)
+func TestChaoticUpdatesNeverCorruptState(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	pos := map[uint64]geom.Point{}
+	mon := New(Options{GridM: 10}, ProberFunc(func(id uint64) geom.Point { return pos[id] }), nil)
+	for i := 0; i < 80; i++ {
+		pos[uint64(i)] = geom.Pt(rng.Float64(), rng.Float64())
+		mon.AddObject(uint64(i), pos[uint64(i)])
+	}
+	for q := 1; q <= 12; q++ {
+		var err error
+		if q%2 == 0 {
+			x, y := rng.Float64()*0.8, rng.Float64()*0.8
+			_, _, err = mon.RegisterRange(query.ID(q), geom.R(x, y, x+0.15, y+0.15))
+		} else {
+			_, _, err = mon.RegisterKNN(query.ID(q), geom.Pt(rng.Float64(), rng.Float64()), 1+rng.Intn(6), q%4 == 1)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for step := 0; step < 4000; step++ {
+		id := uint64(rng.Intn(80))
+		// Teleport: the probe answer may even disagree with the update.
+		pos[id] = geom.Pt(rng.Float64(), rng.Float64())
+		reported := pos[id]
+		if rng.Intn(4) == 0 {
+			reported = geom.Pt(rng.Float64(), rng.Float64()) // stale report
+		}
+		mon.SetTime(float64(step) * 0.001)
+		mon.Update(id, reported)
+		if step%500 == 0 {
+			if err := mon.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := mon.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Deregister everything; reverse index must drain.
+	for q := 1; q <= 12; q++ {
+		if !mon.Deregister(query.ID(q)) {
+			t.Fatalf("deregister %d failed", q)
+		}
+	}
+	for i := 0; i < 80; i++ {
+		mon.RemoveObject(uint64(i))
+	}
+	if mon.NumObjects() != 0 || mon.NumQueries() != 0 {
+		t.Fatal("teardown incomplete")
+	}
+}
+
+// TestQuickMonitorWorkloads drives short randomized protocol-faithful
+// workloads via testing/quick: for any seed, monitored results must equal the
+// oracle at the end.
+func TestQuickMonitorWorkloads(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := newWorld(t, Options{GridM: 6})
+		n := 20 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			w.add(uint64(i), geom.Pt(rng.Float64(), rng.Float64()))
+		}
+		type spec struct {
+			id   query.ID
+			kind query.Kind
+			rect geom.Rect
+			pt   geom.Point
+			k    int
+			sens bool
+		}
+		var specs []spec
+		for q := 1; q <= 6; q++ {
+			s := spec{id: query.ID(q)}
+			if q%2 == 0 {
+				x, y := rng.Float64()*0.8, rng.Float64()*0.8
+				s.kind = query.KindRange
+				s.rect = geom.R(x, y, x+0.2, y+0.2)
+				_, ups, err := w.mon.RegisterRange(s.id, s.rect)
+				if err != nil {
+					return false
+				}
+				w.apply(ups)
+			} else {
+				s.kind = query.KindKNN
+				s.pt = geom.Pt(rng.Float64(), rng.Float64())
+				s.k = 1 + rng.Intn(4)
+				s.sens = q%3 == 0
+				_, ups, err := w.mon.RegisterKNN(s.id, s.pt, s.k, s.sens)
+				if err != nil {
+					return false
+				}
+				w.apply(ups)
+			}
+			specs = append(specs, s)
+		}
+		for step := 0; step < 30; step++ {
+			w.mon.SetTime(float64(step) * 0.01)
+			for _, oid := range rng.Perm(n)[:n/3+1] {
+				p := w.pos[uint64(oid)]
+				w.move(uint64(oid), geom.Pt(
+					clamp01(p.X+(rng.Float64()-0.5)*0.06),
+					clamp01(p.Y+(rng.Float64()-0.5)*0.06)))
+			}
+		}
+		for _, s := range specs {
+			got, _ := w.mon.Results(s.id)
+			switch {
+			case s.kind == query.KindRange:
+				if !equalSeq(sortedCopy(got), w.bruteRange(s.rect)) {
+					return false
+				}
+			case s.sens:
+				if !equalSeq(got, w.bruteKNN(s.pt, s.k)) {
+					return false
+				}
+			default:
+				if !equalSeq(sortedCopy(got), sortedCopy(w.bruteKNN(s.pt, s.k))) {
+					return false
+				}
+			}
+		}
+		return w.mon.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

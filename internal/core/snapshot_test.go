@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"srb/internal/geom"
+	"srb/internal/query"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	w := newWorld(t, Options{GridM: 8})
+	for i := 0; i < 120; i++ {
+		w.add(uint64(i), geom.Pt(rng.Float64(), rng.Float64()))
+	}
+	_, ups, err := w.mon.RegisterRange(1, geom.R(0.2, 0.2, 0.5, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.apply(ups)
+	_, ups, err = w.mon.RegisterKNN(2, geom.Pt(0.7, 0.7), 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.apply(ups)
+	_, ups, err = w.mon.RegisterKNN(3, geom.Pt(0.3, 0.8), 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.apply(ups)
+	_, cups, err := w.mon.RegisterCount(4, geom.R(0.6, 0.1, 0.9, 0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.apply(cups)
+	// Churn a little so state is non-trivial.
+	for step := 0; step < 200; step++ {
+		id := uint64(rng.Intn(120))
+		p := w.pos[id]
+		w.move(id, geom.Pt(clamp01(p.X+(rng.Float64()-0.5)*0.1), clamp01(p.Y+(rng.Float64()-0.5)*0.1)))
+		got, _ := w.mon.Results(1)
+		if !equalSeq(sortedCopy(got), w.bruteRange(geom.R(0.2, 0.2, 0.5, 0.5))) {
+			sr, _ := w.mon.SafeRegion(id)
+			t.Fatalf("churn step %d: moved %d to %v srvSR=%v clientR=%v; got %v want %v", step, id, w.pos[id], sr,
+				w.safe[id], sortedCopy(got), w.bruteRange(geom.R(0.2, 0.2, 0.5, 0.5)))
+		}
+	}
+	w.mon.SetTime(3.5)
+
+	var buf bytes.Buffer
+	if err := w.mon.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := New(Options{GridM: 8}, ProberFunc(func(id uint64) geom.Point { return w.pos[id] }), nil)
+	if err := restored.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.CheckInvariants(); err != nil {
+		t.Fatalf("restored invariants: %v", err)
+	}
+	if restored.Now() != 3.5 {
+		t.Fatalf("Now = %v", restored.Now())
+	}
+	if restored.NumObjects() != w.mon.NumObjects() || restored.NumQueries() != w.mon.NumQueries() {
+		t.Fatal("population mismatch after restore")
+	}
+	for _, qid := range []query.ID{1, 2, 3, 4} {
+		a, _ := w.mon.Results(qid)
+		b, _ := restored.Results(qid)
+		if !equalSeq(a, b) {
+			t.Fatalf("query %d results differ: %v vs %v", qid, a, b)
+		}
+		qa, _ := w.mon.Query(qid)
+		qb, _ := restored.Query(qid)
+		if qa.QRadius != qb.QRadius || qa.Aggregate != qb.Aggregate || qa.OrderSensitive != qb.OrderSensitive {
+			t.Fatalf("query %d parameters differ", qid)
+		}
+	}
+	for i := 0; i < 120; i++ {
+		ra, _ := w.mon.SafeRegion(uint64(i))
+		rb, _ := restored.SafeRegion(uint64(i))
+		if ra != rb {
+			t.Fatalf("object %d safe region differs: %v vs %v", i, ra, rb)
+		}
+	}
+	// The restored monitor keeps operating correctly.
+	for step := 0; step < 100; step++ {
+		id := uint64(rng.Intn(120))
+		p := w.pos[id]
+		np := geom.Pt(clamp01(p.X+(rng.Float64()-0.5)*0.1), clamp01(p.Y+(rng.Float64()-0.5)*0.1))
+		w.pos[id] = np
+		sr, _ := restored.SafeRegion(id)
+		if !sr.Contains(np) {
+			restored.Update(id, np)
+		}
+		got, _ := restored.Results(1)
+		if !equalSeq(sortedCopy(got), w.bruteRange(geom.R(0.2, 0.2, 0.5, 0.5))) {
+			orig, _ := w.mon.Results(1)
+			t.Fatalf("restored monitor drifted at step %d (moved obj %d to %v, sr=%v): got %v want %v orig %v",
+				step, id, np, sr, sortedCopy(got), w.bruteRange(geom.R(0.2, 0.2, 0.5, 0.5)), sortedCopy(orig))
+		}
+	}
+}
+
+func TestLoadSnapshotRejectsNonEmpty(t *testing.T) {
+	w := newWorld(t, Options{})
+	w.add(1, geom.Pt(0.5, 0.5))
+	var buf bytes.Buffer
+	if err := w.mon.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.mon.LoadSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("loading into a non-empty monitor must fail")
+	}
+}
+
+func TestLoadSnapshotRejectsGarbage(t *testing.T) {
+	m := New(Options{}, ProberFunc(func(uint64) geom.Point { return geom.Point{} }), nil)
+	if err := m.LoadSnapshot(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("garbage must fail")
+	}
+}
+
+func TestSnapshotEmptyMonitor(t *testing.T) {
+	m := New(Options{}, ProberFunc(func(uint64) geom.Point { return geom.Point{} }), nil)
+	var buf bytes.Buffer
+	if err := m.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(Options{}, ProberFunc(func(uint64) geom.Point { return geom.Point{} }), nil)
+	if err := m2.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumObjects() != 0 || m2.NumQueries() != 0 {
+		t.Fatal("empty snapshot should restore empty")
+	}
+}

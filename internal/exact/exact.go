@@ -1,0 +1,231 @@
+// Package exact evaluates range and kNN queries over exact object positions
+// using a uniform grid. It is the "perfect knowledge" substrate of the OPT
+// scheme in the paper's evaluation (Section 7), the ground truth for the
+// monitoring-accuracy metric, and a brute-force-style oracle for tests of the
+// safe-region monitor.
+package exact
+
+import (
+	"sort"
+
+	"srb/internal/geom"
+)
+
+// Index is a uniform-grid point index. It is not safe for concurrent use.
+type Index struct {
+	m     int
+	space geom.Rect
+	cw    float64
+	ch    float64
+	cells []map[uint64]struct{}
+	pos   map[uint64]geom.Point
+}
+
+// New creates an index with an m×m grid over space.
+func New(m int, space geom.Rect) *Index {
+	if m < 1 {
+		m = 1
+	}
+	return &Index{
+		m:     m,
+		space: space,
+		cw:    space.Width() / float64(m),
+		ch:    space.Height() / float64(m),
+		cells: make([]map[uint64]struct{}, m*m),
+		pos:   make(map[uint64]geom.Point),
+	}
+}
+
+// Len returns the number of indexed objects.
+func (ix *Index) Len() int { return len(ix.pos) }
+
+// Pos returns the position of an object.
+func (ix *Index) Pos(id uint64) (geom.Point, bool) {
+	p, ok := ix.pos[id]
+	return p, ok
+}
+
+// Set inserts the object or moves it to p.
+func (ix *Index) Set(id uint64, p geom.Point) {
+	if old, ok := ix.pos[id]; ok {
+		oc := ix.cellIdx(old)
+		nc := ix.cellIdx(p)
+		if oc != nc {
+			delete(ix.cells[oc], id)
+			ix.addToCell(nc, id)
+		}
+	} else {
+		ix.addToCell(ix.cellIdx(p), id)
+	}
+	ix.pos[id] = p
+}
+
+// Remove deletes an object, reporting whether it existed.
+func (ix *Index) Remove(id uint64) bool {
+	p, ok := ix.pos[id]
+	if !ok {
+		return false
+	}
+	delete(ix.cells[ix.cellIdx(p)], id)
+	delete(ix.pos, id)
+	return true
+}
+
+// Range returns the IDs of all objects inside r (closed), sorted ascending.
+func (ix *Index) Range(r geom.Rect) []uint64 {
+	rr := r.Intersect(ix.space)
+	var out []uint64
+	if !rr.IsValid() {
+		return out
+	}
+	i0, j0 := ix.cellOf(geom.Point{X: rr.MinX, Y: rr.MinY})
+	i1, j1 := ix.cellOf(geom.Point{X: rr.MaxX, Y: rr.MaxY})
+	for j := j0; j <= j1; j++ {
+		for i := i0; i <= i1; i++ {
+			for id := range ix.cells[j*ix.m+i] {
+				if r.Contains(ix.pos[id]) {
+					out = append(out, id)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Neighbor is a kNN result: an object and its distance to the query point.
+type Neighbor struct {
+	ID   uint64
+	Dist float64
+}
+
+// KNN returns the k nearest objects to q ordered by distance (ties broken by
+// ID), skipping objects for which exclude returns true. exclude may be nil.
+func (ix *Index) KNN(q geom.Point, k int, exclude func(uint64) bool) []Neighbor {
+	if k < 1 || len(ix.pos) == 0 {
+		return nil
+	}
+	qi, qj := ix.cellOf(q)
+	var best []Neighbor // kept sorted ascending, at most k entries
+	worst := func() float64 {
+		if len(best) < k {
+			return -1 // sentinel: accept anything
+		}
+		return best[len(best)-1].Dist
+	}
+	addCell(ix, qi, qj, q, k, &best, exclude)
+	for ring := 1; ring < 2*ix.m; ring++ {
+		// Minimum possible distance from q to any cell in this ring.
+		ringDist := float64(ring-1) * minf(ix.cw, ix.ch)
+		if w := worst(); w >= 0 && ringDist > w {
+			break
+		}
+		touched := false
+		for di := -ring; di <= ring; di++ {
+			for _, dj := range ringEdges(di, ring) {
+				i, j := qi+di, qj+dj
+				if i < 0 || i >= ix.m || j < 0 || j >= ix.m {
+					continue
+				}
+				touched = true
+				if w := worst(); w >= 0 && ix.cellRect(i, j).MinDist(q) > w {
+					continue
+				}
+				addCell(ix, i, j, q, k, &best, exclude)
+			}
+		}
+		if !touched && ring > ix.m {
+			break
+		}
+	}
+	return best
+}
+
+func addCell(ix *Index, i, j int, q geom.Point, k int, best *[]Neighbor, exclude func(uint64) bool) {
+	cell := ix.cells[j*ix.m+i]
+	for id := range cell {
+		if exclude != nil && exclude(id) {
+			continue
+		}
+		d := ix.pos[id].Dist(q)
+		insertNeighbor(best, Neighbor{ID: id, Dist: d}, k)
+	}
+}
+
+func insertNeighbor(best *[]Neighbor, n Neighbor, k int) {
+	b := *best
+	pos := sort.Search(len(b), func(i int) bool {
+		if b[i].Dist != n.Dist {
+			return b[i].Dist > n.Dist
+		}
+		return b[i].ID > n.ID
+	})
+	if pos >= k {
+		return
+	}
+	b = append(b, Neighbor{})
+	copy(b[pos+1:], b[pos:])
+	b[pos] = n
+	if len(b) > k {
+		b = b[:k]
+	}
+	*best = b
+}
+
+func (ix *Index) cellOf(p geom.Point) (int, int) {
+	i := int((p.X - ix.space.MinX) / ix.cw)
+	j := int((p.Y - ix.space.MinY) / ix.ch)
+	return clampIdx(i, ix.m), clampIdx(j, ix.m)
+}
+
+func (ix *Index) cellIdx(p geom.Point) int {
+	i, j := ix.cellOf(p)
+	return j*ix.m + i
+}
+
+func (ix *Index) cellRect(i, j int) geom.Rect {
+	return geom.Rect{
+		MinX: ix.space.MinX + float64(i)*ix.cw,
+		MinY: ix.space.MinY + float64(j)*ix.ch,
+		MaxX: ix.space.MinX + float64(i+1)*ix.cw,
+		MaxY: ix.space.MinY + float64(j+1)*ix.ch,
+	}
+}
+
+func (ix *Index) addToCell(c int, id uint64) {
+	if ix.cells[c] == nil {
+		ix.cells[c] = make(map[uint64]struct{})
+	}
+	ix.cells[c][id] = struct{}{}
+}
+
+// ringEdges returns the dj offsets forming the boundary of the square ring at
+// the given di column: the full edge for the extreme columns, otherwise just
+// the top and bottom rows.
+func ringEdges(di, ring int) []int {
+	if di == -ring || di == ring {
+		out := make([]int, 0, 2*ring+1)
+		for dj := -ring; dj <= ring; dj++ {
+			out = append(out, dj)
+		}
+		return out
+	}
+	return []int{-ring, ring}
+}
+
+func clampIdx(i, m int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= m {
+		return m - 1
+	}
+	return i
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,227 @@
+package exact
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"srb/internal/geom"
+)
+
+var space = geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+
+func populate(rng *rand.Rand, n int, m int) (*Index, map[uint64]geom.Point) {
+	ix := New(m, space)
+	ref := map[uint64]geom.Point{}
+	for i := 0; i < n; i++ {
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		ix.Set(uint64(i), p)
+		ref[uint64(i)] = p
+	}
+	return ix, ref
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ix, ref := populate(rng, 3000, 20)
+	for trial := 0; trial < 60; trial++ {
+		x, y := rng.Float64(), rng.Float64()
+		q := geom.R(x, y, x+rng.Float64()*0.3, y+rng.Float64()*0.3)
+		var want []uint64
+		for id, p := range ref {
+			if q.Contains(p) {
+				want = append(want, id)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := ix.Range(q)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ix, ref := populate(rng, 2500, 25)
+	for trial := 0; trial < 60; trial++ {
+		q := geom.Pt(rng.Float64(), rng.Float64())
+		k := 1 + rng.Intn(10)
+		type nd struct {
+			id uint64
+			d  float64
+		}
+		var brute []nd
+		for id, p := range ref {
+			brute = append(brute, nd{id, p.Dist(q)})
+		}
+		sort.Slice(brute, func(i, j int) bool {
+			if brute[i].d != brute[j].d {
+				return brute[i].d < brute[j].d
+			}
+			return brute[i].id < brute[j].id
+		})
+		got := ix.KNN(q, k, nil)
+		if len(got) != k {
+			t.Fatalf("trial %d: len = %d want %d", trial, len(got), k)
+		}
+		for i := 0; i < k; i++ {
+			if got[i].ID != brute[i].id {
+				t.Fatalf("trial %d k=%d: pos %d got %d want %d", trial, k, i, got[i].ID, brute[i].id)
+			}
+		}
+	}
+}
+
+func TestKNNExclude(t *testing.T) {
+	ix := New(4, space)
+	for i := 0; i < 10; i++ {
+		ix.Set(uint64(i), geom.Pt(float64(i)*0.1, 0.5))
+	}
+	got := ix.KNN(geom.Pt(0, 0.5), 2, func(id uint64) bool { return id == 0 })
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("exclude failed: %+v", got)
+	}
+}
+
+func TestKNNFewerThanK(t *testing.T) {
+	ix := New(4, space)
+	ix.Set(1, geom.Pt(0.1, 0.1))
+	ix.Set(2, geom.Pt(0.9, 0.9))
+	got := ix.KNN(geom.Pt(0.5, 0.5), 5, nil)
+	if len(got) != 2 {
+		t.Fatalf("want all objects, got %d", len(got))
+	}
+	if got := New(4, space).KNN(geom.Pt(0, 0), 3, nil); got != nil {
+		t.Fatalf("empty index: %v", got)
+	}
+}
+
+func TestSetMovesBetweenCells(t *testing.T) {
+	ix := New(10, space)
+	ix.Set(1, geom.Pt(0.05, 0.05))
+	ix.Set(1, geom.Pt(0.95, 0.95))
+	if got := ix.Range(geom.R(0, 0, 0.2, 0.2)); len(got) != 0 {
+		t.Fatalf("stale cell content: %v", got)
+	}
+	if got := ix.Range(geom.R(0.9, 0.9, 1, 1)); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("moved object missing: %v", got)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	ix := New(10, space)
+	ix.Set(1, geom.Pt(0.5, 0.5))
+	if !ix.Remove(1) {
+		t.Fatal("remove existing failed")
+	}
+	if ix.Remove(1) {
+		t.Fatal("double remove succeeded")
+	}
+	if got := ix.Range(space); len(got) != 0 {
+		t.Fatalf("object still indexed: %v", got)
+	}
+}
+
+func TestPos(t *testing.T) {
+	ix := New(10, space)
+	ix.Set(7, geom.Pt(0.3, 0.4))
+	p, ok := ix.Pos(7)
+	if !ok || p != geom.Pt(0.3, 0.4) {
+		t.Fatalf("Pos = %v,%v", p, ok)
+	}
+	if _, ok := ix.Pos(8); ok {
+		t.Fatal("unknown id should miss")
+	}
+}
+
+func TestRangeOutsideSpace(t *testing.T) {
+	ix := New(10, space)
+	ix.Set(1, geom.Pt(0.5, 0.5))
+	if got := ix.Range(geom.R(2, 2, 3, 3)); len(got) != 0 {
+		t.Fatalf("out-of-space range: %v", got)
+	}
+}
+
+func TestKNNAfterHeavyChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ix, ref := populate(rng, 800, 15)
+	for step := 0; step < 5000; step++ {
+		id := uint64(rng.Intn(800))
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		ix.Set(id, p)
+		ref[id] = p
+	}
+	q := geom.Pt(0.5, 0.5)
+	got := ix.KNN(q, 5, nil)
+	type nd struct {
+		id uint64
+		d  float64
+	}
+	var brute []nd
+	for id, p := range ref {
+		brute = append(brute, nd{id, p.Dist(q)})
+	}
+	sort.Slice(brute, func(i, j int) bool {
+		if brute[i].d != brute[j].d {
+			return brute[i].d < brute[j].d
+		}
+		return brute[i].id < brute[j].id
+	})
+	for i := range got {
+		if got[i].ID != brute[i].id {
+			t.Fatalf("pos %d: got %d want %d", i, got[i].ID, brute[i].id)
+		}
+	}
+}
+
+// Property: random op sequences keep the index consistent with a map.
+func TestQuickIndexConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ix := New(8, space)
+		ref := map[uint64]geom.Point{}
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				id := uint64(rng.Intn(60))
+				p := geom.Pt(rng.Float64(), rng.Float64())
+				ix.Set(id, p)
+				ref[id] = p
+			case 2:
+				id := uint64(rng.Intn(60))
+				_, had := ref[id]
+				if ix.Remove(id) != had {
+					return false
+				}
+				delete(ref, id)
+			default:
+				x, y := rng.Float64()*0.8, rng.Float64()*0.8
+				q := geom.R(x, y, x+0.3, y+0.3)
+				got := ix.Range(q)
+				want := 0
+				for _, p := range ref {
+					if q.Contains(p) {
+						want++
+					}
+				}
+				if len(got) != want {
+					return false
+				}
+			}
+		}
+		return ix.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package geom
+
+import "math"
+
+// Circle is the quarantine area of a kNN query: all points within distance R
+// of Center.
+type Circle struct {
+	Center Point
+	R      float64
+}
+
+// Contains reports whether p lies inside the closed disk.
+func (c Circle) Contains(p Point) bool {
+	return c.Center.Dist2(p) <= c.R*c.R
+}
+
+// BBox returns the minimum bounding rectangle of the circle.
+func (c Circle) BBox() Rect {
+	return Rect{c.Center.X - c.R, c.Center.Y - c.R, c.Center.X + c.R, c.Center.Y + c.R}
+}
+
+// IntersectsRect reports whether the disk and the rectangle share a point.
+func (c Circle) IntersectsRect(r Rect) bool {
+	return r.MinDist(c.Center) <= c.R
+}
+
+// ContainsRect reports whether the rectangle lies entirely inside the disk.
+func (c Circle) ContainsRect(r Rect) bool {
+	return r.MaxDist(c.Center) <= c.R
+}
+
+// Ring is the annulus Inner ≤ d(Center, ·) ≤ Outer, the region an i-th
+// nearest neighbor of an order-sensitive kNN query may roam without
+// perturbing the result order (Section 5.2).
+type Ring struct {
+	Center Point
+	Inner  float64
+	Outer  float64
+}
+
+// Contains reports whether p lies in the closed annulus.
+func (rg Ring) Contains(p Point) bool {
+	d2 := rg.Center.Dist2(p)
+	return d2 >= rg.Inner*rg.Inner && d2 <= rg.Outer*rg.Outer
+}
+
+// SegmentCircleExit returns the smallest t ≥ 0 at which the point p + t*v
+// leaves the disk, and ok=false when p starts outside or never leaves (v=0).
+func SegmentCircleExit(c Circle, p Point, v Point) (float64, bool) {
+	// Solve |p + t v - center|^2 = R^2 for the positive root.
+	w := p.Sub(c.Center)
+	a := v.X*v.X + v.Y*v.Y
+	b := 2 * (w.X*v.X + w.Y*v.Y)
+	cc := w.X*w.X + w.Y*w.Y - c.R*c.R
+	if cc > 0 {
+		return 0, false // already outside
+	}
+	if a == 0 {
+		return 0, false // not moving
+	}
+	disc := b*b - 4*a*cc
+	if disc < 0 {
+		return 0, false
+	}
+	t := (-b + math.Sqrt(disc)) / (2 * a)
+	if t < 0 {
+		return 0, false
+	}
+	return t, true
+}

@@ -1,0 +1,135 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Monte-Carlo reference for ∫ k(θ) dθ.
+func monteCarloChord(r Rect, p Point, n int, rng *rand.Rand) float64 {
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		theta := 2 * math.Pi * rng.Float64()
+		v := Pt(math.Cos(theta), math.Sin(theta))
+		if t, ok := SegmentRectExit(r, p, v); ok {
+			sum += t
+		}
+	}
+	return sum * 2 * math.Pi / float64(n)
+}
+
+func TestMeanExitChordMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	cases := []struct {
+		r Rect
+		p Point
+	}{
+		{Rect{0, 0, 1, 1}, Pt(0.5, 0.5)},
+		{Rect{0, 0, 1, 1}, Pt(0.1, 0.9)},
+		{Rect{0, 0, 2, 0.5}, Pt(1.7, 0.2)},
+		{Rect{-1, -1, 1, 1}, Pt(0.99, -0.99)},
+	}
+	for _, c := range cases {
+		got := MeanExitChord(c.r, c.p)
+		want := monteCarloChord(c.r, c.p, 400000, rng)
+		if math.Abs(got-want) > 0.02*want+1e-9 {
+			t.Errorf("rect %v p %v: analytic %v vs MC %v", c.r, c.p, got, want)
+		}
+	}
+}
+
+func TestMeanExitChordCenteredSquare(t *testing.T) {
+	// Closed form for the unit square center: 4·Q(1/2, 1/2) with
+	// Q(a,a) = 2a·asinh(1).
+	got := MeanExitChord(Rect{0, 0, 1, 1}, Pt(0.5, 0.5))
+	want := 4 * (0.5*math.Asinh(1) + 0.5*math.Asinh(1))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestMeanExitChordBoundaryIsWorthless(t *testing.T) {
+	r := Rect{0, 0, 1, 1}
+	interior := MeanExitChord(r, Pt(0.5, 0.5))
+	onEdge := MeanExitChord(r, Pt(0.5, 0))
+	onCorner := MeanExitChord(r, Pt(0, 0))
+	if onEdge >= 0.75*interior {
+		t.Fatalf("edge point should score clearly lower: %v vs %v", onEdge, interior)
+	}
+	if onCorner >= onEdge {
+		t.Fatalf("corner should score lowest: %v vs %v", onCorner, onEdge)
+	}
+	if MeanExitChord(r, Pt(2, 2)) != 0 {
+		t.Fatal("outside point scores 0")
+	}
+}
+
+// Property: monotone under rectangle inclusion for a fixed interior point.
+func TestMeanExitChordMonotoneProperty(t *testing.T) {
+	f := func(px, py, grow uint16) bool {
+		p := Pt(0.2+0.6*u16(px), 0.2+0.6*u16(py))
+		small := Rect{p.X - 0.1, p.Y - 0.1, p.X + 0.1, p.Y + 0.1}
+		g := 0.001 + 0.5*u16(grow)
+		big := small.Expand(g)
+		return MeanExitChord(big, p) >= MeanExitChord(small, p)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: translation invariance.
+func TestMeanExitChordTranslationProperty(t *testing.T) {
+	f := func(px, py, dx, dy uint16) bool {
+		p := Pt(0.3+0.4*u16(px), 0.3+0.4*u16(py))
+		r := Rect{0.1, 0.2, 0.9, 0.8}
+		ox, oy := 10*u16(dx)-5, 10*u16(dy)-5
+		moved := Rect{r.MinX + ox, r.MinY + oy, r.MaxX + ox, r.MaxY + oy}
+		a := MeanExitChord(r, p)
+		b := MeanExitChord(moved, p.Add(ox, oy))
+		return math.Abs(a-b) < 1e-9*(1+a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExitObjectiveRanksInteriorAboveBoundary(t *testing.T) {
+	p := Pt(0.5, 0.5)
+	obj := ExitObjective(p)
+	centered := Rect{0.3, 0.3, 0.7, 0.7}
+	pinned := Rect{0.5, 0.3, 0.9, 0.7} // same size, p on its left edge
+	if obj(centered) <= obj(pinned) {
+		t.Fatalf("centered %v should beat pinned %v", obj(centered), obj(pinned))
+	}
+}
+
+func TestWeightedExitObjectiveForwardBias(t *testing.T) {
+	p := Pt(0.5, 0.5)
+	plst := Pt(0.45, 0.5) // heading east
+	obj := WeightedExitObjective(plst, p, 0.8)
+	ahead := Rect{0.45, 0.4, 0.75, 0.6}
+	behind := Rect{0.25, 0.4, 0.55, 0.6}
+	if obj(ahead) <= obj(behind) {
+		t.Fatalf("forward region should win: %v vs %v", obj(ahead), obj(behind))
+	}
+	// Zero steadiness or zero heading degrade gracefully.
+	if got := WeightedExitObjective(p, p, 0.8)(ahead); got <= 0 {
+		t.Fatalf("no-heading weighted objective should still be positive: %v", got)
+	}
+	if WeightedExitObjective(plst, p, 0.8)(Rect{2, 2, 3, 3}) != 0 {
+		t.Fatal("region not containing p scores 0")
+	}
+}
+
+func TestCornerChordLimits(t *testing.T) {
+	if cornerChord(0, 1) != 0 || cornerChord(1, 0) != 0 || cornerChord(0, 0) != 0 {
+		t.Fatal("degenerate corner terms must vanish")
+	}
+	// Symmetry.
+	if math.Abs(cornerChord(0.3, 0.7)-cornerChord(0.7, 0.3)) > 1e-12 {
+		t.Fatal("corner term must be symmetric")
+	}
+}

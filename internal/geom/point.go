@@ -1,0 +1,48 @@
+// Package geom provides the planar geometry substrate used throughout the
+// safe-region monitoring framework: points, rectangles, circles and rings,
+// the min/max distance functions δ and Δ from the paper, exit-time
+// computations for linear motion, and the Ir-lp family of inscribed-rectangle
+// optimizations from Section 5 of Hu, Xu & Lee (SIGMOD 2005).
+package geom
+
+import "math"
+
+// Point is a location in the unit-square monitoring space.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p translated by the vector (dx, dy).
+func (p Point) Add(dx, dy float64) Point { return Point{p.X + dx, p.Y + dy} }
+
+// Sub returns the component-wise difference p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance d(p, q).
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance, cheaper when only comparisons
+// are needed.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Scale returns p scaled by s, viewed as a vector.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Eq reports exact coordinate equality.
+func (p Point) Eq(q Point) bool { return p.X == q.X && p.Y == q.Y }
+
+// Lerp returns the point a + t*(b-a).
+func Lerp(a, b Point, t float64) Point {
+	return Point{a.X + t*(b.X-a.X), a.Y + t*(b.Y-a.Y)}
+}

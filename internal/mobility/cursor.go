@@ -1,0 +1,110 @@
+package mobility
+
+import "srb/internal/geom"
+
+// Cursor adapts a lazily generated Model to the access pattern of the
+// event-driven simulator: position queries at any time not older than the
+// last Trim point, even though the underlying model only supports monotone
+// access. It also tracks the cumulative distance traveled, used by the
+// cost-per-distance metric of Figure 7.4(a).
+type Cursor struct {
+	model Model
+	segs  []Segment
+	dist  float64 // distance covered by fully retired segments
+}
+
+// NewCursor wraps a model positioned at time 0.
+func NewCursor(m Model) *Cursor {
+	c := &Cursor{model: m}
+	c.segs = append(c.segs, m.SegmentAt(0))
+	return c
+}
+
+// At returns the position at time t. t must not precede the last Trim point.
+func (c *Cursor) At(t float64) geom.Point {
+	return c.segmentFor(t).At(t)
+}
+
+// SegmentFor returns the trajectory segment covering time t, extending the
+// cached window as needed.
+func (c *Cursor) SegmentFor(t float64) Segment {
+	return c.segmentFor(t)
+}
+
+func (c *Cursor) segmentFor(t float64) Segment {
+	for c.segs[len(c.segs)-1].T1 < t {
+		c.segs = append(c.segs, c.model.SegmentAt(c.segs[len(c.segs)-1].T1+1e-12))
+	}
+	// The window is small (exit scans look ahead a handful of segments), so a
+	// linear scan from the back is cheap and cache friendly.
+	for i := len(c.segs) - 1; i >= 0; i-- {
+		if t >= c.segs[i].T0 {
+			return c.segs[i]
+		}
+	}
+	return c.segs[0]
+}
+
+// Trim declares that no future At call will use a time earlier than t,
+// allowing retired segments to be dropped and their length added to the
+// distance counter.
+func (c *Cursor) Trim(t float64) {
+	i := 0
+	for i < len(c.segs)-1 && c.segs[i].T1 <= t {
+		s := c.segs[i]
+		c.dist += s.V.Norm() * (s.T1 - s.T0)
+		i++
+	}
+	if i > 0 {
+		c.segs = append(c.segs[:0], c.segs[i:]...)
+	}
+}
+
+// DistanceTraveled returns the length of the trajectory from time 0 through
+// time t, where t must be within the currently cached window.
+func (c *Cursor) DistanceTraveled(t float64) float64 {
+	d := c.dist
+	for _, s := range c.segs {
+		if t <= s.T0 {
+			break
+		}
+		end := s.T1
+		if t < end {
+			end = t
+		}
+		d += s.V.Norm() * (end - s.T0)
+	}
+	return d
+}
+
+// ExitTime returns the first time ≥ from at which the trajectory leaves rect,
+// scanning forward segment by segment up to the horizon. ok=false when the
+// object stays inside through the horizon. The position at from must be
+// inside rect; if it is not, from itself is returned.
+func (c *Cursor) ExitTime(rect geom.Rect, from, horizon float64) (float64, bool) {
+	p := c.At(from)
+	if !rect.Contains(p) {
+		return from, true
+	}
+	t := from
+	for t < horizon {
+		seg := c.segmentFor(t)
+		pos := seg.At(t)
+		if exit, ok := geom.SegmentRectExit(rect, pos, seg.V); ok {
+			te := t + exit
+			if te <= seg.T1 {
+				if te > horizon {
+					return 0, false
+				}
+				return te, true
+			}
+		}
+		if seg.T1 <= t {
+			// Degenerate zero-length segment guard.
+			t += 1e-12
+			continue
+		}
+		t = seg.T1
+	}
+	return 0, false
+}

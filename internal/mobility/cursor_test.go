@@ -1,0 +1,124 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"srb/internal/geom"
+)
+
+// scripted is a deterministic two-segment model for cursor tests.
+type scripted struct {
+	segs []Segment
+	idx  int
+}
+
+func (s *scripted) SegmentAt(t float64) Segment {
+	for s.idx < len(s.segs)-1 && t > s.segs[s.idx].T1 {
+		s.idx++
+	}
+	return s.segs[s.idx]
+}
+
+func (s *scripted) At(t float64) geom.Point { return s.SegmentAt(t).At(t) }
+
+func newScripted() *scripted {
+	return &scripted{segs: []Segment{
+		{Start: geom.Pt(0, 0), V: geom.Pt(1, 0), T0: 0, T1: 1},
+		{Start: geom.Pt(1, 0), V: geom.Pt(0, 1), T0: 1, T1: 2},
+		{Start: geom.Pt(1, 1), V: geom.Pt(-1, 0), T0: 2, T1: 3},
+		{Start: geom.Pt(0, 1), V: geom.Pt(0, 0), T0: 3, T1: 100},
+	}}
+}
+
+func TestCursorAtAcrossSegments(t *testing.T) {
+	c := NewCursor(newScripted())
+	if got := c.At(0.5); got != geom.Pt(0.5, 0) {
+		t.Fatalf("At(0.5) = %v", got)
+	}
+	if got := c.At(1.5); got != geom.Pt(1, 0.5) {
+		t.Fatalf("At(1.5) = %v", got)
+	}
+	// Lookback within the cached window still works after reading ahead.
+	if got := c.At(0.25); got != geom.Pt(0.25, 0) {
+		t.Fatalf("lookback At(0.25) = %v", got)
+	}
+	if got := c.At(2.5); got != geom.Pt(0.5, 1) {
+		t.Fatalf("At(2.5) = %v", got)
+	}
+}
+
+func TestCursorTrimAndDistance(t *testing.T) {
+	c := NewCursor(newScripted())
+	_ = c.At(2.5) // extend window
+	if d := c.DistanceTraveled(2.5); math.Abs(d-2.5) > 1e-12 {
+		t.Fatalf("distance at 2.5 = %v", d)
+	}
+	c.Trim(1.5)
+	if got := c.At(1.5); got != geom.Pt(1, 0.5) {
+		t.Fatalf("At(1.5) after trim = %v", got)
+	}
+	if d := c.DistanceTraveled(3.0); math.Abs(d-3.0) > 1e-12 {
+		t.Fatalf("distance at 3.0 after trim = %v", d)
+	}
+	c.Trim(50)
+	if d := c.DistanceTraveled(60); math.Abs(d-3.0) > 1e-12 {
+		t.Fatalf("stationary tail should add no distance, got %v", d)
+	}
+}
+
+func TestCursorExitTime(t *testing.T) {
+	c := NewCursor(newScripted())
+	// Rect covering x ∈ [0, 0.6]: exits at t = 0.6 on the first segment.
+	te, ok := c.ExitTime(geom.R(-1, -1, 0.6, 2), 0, 100)
+	if !ok || math.Abs(te-0.6) > 1e-12 {
+		t.Fatalf("exit = %v,%v", te, ok)
+	}
+	// Rect covering the whole first leg but y < 0.5: exit mid second segment.
+	te, ok = c.ExitTime(geom.R(-1, -1, 2, 0.5), 0, 100)
+	if !ok || math.Abs(te-1.5) > 1e-12 {
+		t.Fatalf("exit = %v,%v", te, ok)
+	}
+	// Huge rect: never exits before the horizon.
+	if _, ok := c.ExitTime(geom.R(-10, -10, 10, 10), 0, 100); ok {
+		t.Fatal("should not exit")
+	}
+	// Starting outside: immediate exit at from.
+	te, ok = c.ExitTime(geom.R(5, 5, 6, 6), 0.5, 100)
+	if !ok || te != 0.5 {
+		t.Fatalf("outside start: %v,%v", te, ok)
+	}
+}
+
+func TestCursorExitTimeRespectsHorizon(t *testing.T) {
+	c := NewCursor(newScripted())
+	// Would exit at 0.6, but the horizon is earlier.
+	if _, ok := c.ExitTime(geom.R(-1, -1, 0.6, 2), 0, 0.5); ok {
+		t.Fatal("exit beyond horizon must report !ok")
+	}
+}
+
+func TestCursorWithWaypoint(t *testing.T) {
+	space := geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	w := NewWaypoint(3, 5, space, 0.05, 0.1, geom.Pt(0.5, 0.5))
+	c := NewCursor(w)
+	last := 0.0
+	for i := 0; i <= 400; i++ {
+		tt := float64(i) * 0.05
+		p := c.At(tt)
+		if !space.Expand(1e-9).Contains(p) {
+			t.Fatalf("escaped space at %v: %v", tt, p)
+		}
+		if i%50 == 0 {
+			c.Trim(tt)
+		}
+		d := c.DistanceTraveled(tt)
+		if d+1e-9 < last {
+			t.Fatalf("distance decreased: %v -> %v", last, d)
+		}
+		last = d
+	}
+	if last <= 0 {
+		t.Fatal("expected some distance traveled")
+	}
+}

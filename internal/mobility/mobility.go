@@ -1,0 +1,184 @@
+// Package mobility generates moving-object trajectories for the evaluation
+// workloads. The primary model is the random waypoint model used by the
+// paper (Section 7.1, following Broch et al.): each object repeatedly picks a
+// uniform random destination and moves toward it at a speed drawn uniformly
+// from [0, 2·v̄], re-planning on arrival or after a constant-movement period
+// drawn uniformly from [0, 2·t̄v].
+//
+// Trajectories are piecewise linear and generated lazily: a walker holds only
+// its current segment, so simulating hundreds of thousands of objects over
+// long horizons stays O(1) memory per object. Accesses must be monotone in
+// time, which the event-driven simulator guarantees.
+package mobility
+
+import (
+	"math"
+	"math/rand"
+
+	"srb/internal/geom"
+)
+
+// Segment is a constant-velocity stretch of a trajectory: position at time
+// t ∈ [T0, T1] is Start + (t-T0)·V.
+type Segment struct {
+	Start  geom.Point
+	V      geom.Point
+	T0, T1 float64
+}
+
+// At returns the position at time t, clamped into the segment's time span.
+func (s Segment) At(t float64) geom.Point {
+	if t < s.T0 {
+		t = s.T0
+	}
+	if t > s.T1 {
+		t = s.T1
+	}
+	dt := t - s.T0
+	return geom.Pt(s.Start.X+dt*s.V.X, s.Start.Y+dt*s.V.Y)
+}
+
+// Model produces the trajectory of one object. SegmentAt must be called with
+// non-decreasing times.
+type Model interface {
+	// SegmentAt returns the segment active at time t.
+	SegmentAt(t float64) Segment
+	// At returns the position at time t.
+	At(t float64) geom.Point
+}
+
+// Waypoint is the random waypoint walker of the paper's simulation setup.
+type Waypoint struct {
+	rng        *rand.Rand
+	space      geom.Rect
+	meanSpeed  float64
+	meanPeriod float64
+	cur        Segment
+}
+
+// NewWaypoint creates a walker starting at start at time 0. Each (seed, id)
+// pair yields an independent deterministic stream.
+func NewWaypoint(seed int64, id uint64, space geom.Rect, meanSpeed, meanPeriod float64, start geom.Point) *Waypoint {
+	w := &Waypoint{
+		rng:        rand.New(rand.NewSource(seed ^ int64(id*0x9e3779b97f4a7c15+0x1234abcd))),
+		space:      space,
+		meanSpeed:  meanSpeed,
+		meanPeriod: meanPeriod,
+	}
+	w.cur = w.plan(start, 0)
+	return w
+}
+
+// plan draws the next leg starting at p0 at time t0.
+func (w *Waypoint) plan(p0 geom.Point, t0 float64) Segment {
+	dest := geom.Pt(
+		w.space.MinX+w.rng.Float64()*w.space.Width(),
+		w.space.MinY+w.rng.Float64()*w.space.Height(),
+	)
+	speed := w.rng.Float64() * 2 * w.meanSpeed
+	period := w.rng.Float64() * 2 * w.meanPeriod
+	// Floor the leg duration: a zero mean period would otherwise make the
+	// walker generate unboundedly many segments per unit of simulated time.
+	if period < 1e-4 {
+		period = 1e-4
+	}
+	d := p0.Dist(dest)
+	dur := period
+	v := geom.Pt(0, 0)
+	if speed > 0 && d > 0 {
+		travel := d / speed
+		if travel < dur {
+			dur = travel
+		}
+		v = dest.Sub(p0).Scale(speed / d)
+	}
+	return Segment{Start: p0, V: v, T0: t0, T1: t0 + dur}
+}
+
+// SegmentAt implements Model.
+func (w *Waypoint) SegmentAt(t float64) Segment {
+	for t > w.cur.T1 {
+		w.cur = w.plan(w.cur.At(w.cur.T1), w.cur.T1)
+	}
+	return w.cur
+}
+
+// At implements Model.
+func (w *Waypoint) At(t float64) geom.Point { return w.SegmentAt(t).At(t) }
+
+// Directed is a steadier mobility model for the Section 6.2 experiments: the
+// object keeps a persistent heading with small Gaussian perturbations at each
+// re-plan, bouncing off the space boundary. Higher persistence approximates
+// "steady movement".
+type Directed struct {
+	rng        *rand.Rand
+	space      geom.Rect
+	meanSpeed  float64
+	meanPeriod float64
+	jitter     float64 // stddev of the heading perturbation in radians
+	heading    float64
+	cur        Segment
+}
+
+// NewDirected creates a directed walker; jitter controls how much the heading
+// wobbles between legs (0 = perfectly straight until it bounces).
+func NewDirected(seed int64, id uint64, space geom.Rect, meanSpeed, meanPeriod, jitter float64, start geom.Point) *Directed {
+	rng := rand.New(rand.NewSource(seed ^ int64(id*0x9e3779b97f4a7c15+0x5bd1e995)))
+	d := &Directed{
+		rng:        rng,
+		space:      space,
+		meanSpeed:  meanSpeed,
+		meanPeriod: meanPeriod,
+		jitter:     jitter,
+		heading:    rng.Float64() * 2 * math.Pi,
+	}
+	d.cur = d.plan(start, 0)
+	return d
+}
+
+func (d *Directed) plan(p0 geom.Point, t0 float64) Segment {
+	d.heading += d.rng.NormFloat64() * d.jitter
+	speed := d.meanSpeed * (0.5 + d.rng.Float64()) // U[0.5, 1.5]·v̄
+	period := d.meanPeriod * (0.5 + d.rng.Float64())
+	v := geom.Pt(math.Cos(d.heading)*speed, math.Sin(d.heading)*speed)
+	// Bounce off the boundary: reflect the heading component that would exit.
+	if exit, ok := geom.SegmentRectExit(d.space, p0, v); ok && exit < period {
+		end := geom.Pt(p0.X+exit*v.X, p0.Y+exit*v.Y)
+		if end.X <= d.space.MinX || end.X >= d.space.MaxX {
+			v.X = -v.X
+		}
+		if end.Y <= d.space.MinY || end.Y >= d.space.MaxY {
+			v.Y = -v.Y
+		}
+		d.heading = math.Atan2(v.Y, v.X)
+		period = exit
+		if period <= 0 {
+			period = 1e-9
+		}
+	}
+	return Segment{Start: p0, V: v, T0: t0, T1: t0 + period}
+}
+
+// SegmentAt implements Model.
+func (d *Directed) SegmentAt(t float64) Segment {
+	for t > d.cur.T1 {
+		d.cur = d.plan(d.cur.At(d.cur.T1), d.cur.T1)
+	}
+	return d.cur
+}
+
+// At implements Model.
+func (d *Directed) At(t float64) geom.Point { return d.SegmentAt(t).At(t) }
+
+// StartPositions returns n deterministic uniform starting positions.
+func StartPositions(seed int64, n int, space geom.Rect) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i] = geom.Pt(
+			space.MinX+rng.Float64()*space.Width(),
+			space.MinY+rng.Float64()*space.Height(),
+		)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"srb/internal/geom"
+)
+
+var space = geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+
+func TestWaypointStaysInSpace(t *testing.T) {
+	w := NewWaypoint(1, 7, space, 0.05, 0.5, geom.Pt(0.5, 0.5))
+	for i := 0; i <= 2000; i++ {
+		tt := float64(i) * 0.01
+		p := w.At(tt)
+		if !space.Expand(1e-9).Contains(p) {
+			t.Fatalf("t=%v: position %v escaped the space", tt, p)
+		}
+	}
+}
+
+func TestWaypointDeterministic(t *testing.T) {
+	a := NewWaypoint(42, 3, space, 0.02, 0.1, geom.Pt(0.1, 0.2))
+	b := NewWaypoint(42, 3, space, 0.02, 0.1, geom.Pt(0.1, 0.2))
+	for i := 0; i <= 500; i++ {
+		tt := float64(i) * 0.037
+		if a.At(tt) != b.At(tt) {
+			t.Fatalf("t=%v: divergent positions", tt)
+		}
+	}
+	c := NewWaypoint(42, 4, space, 0.02, 0.1, geom.Pt(0.1, 0.2))
+	diverged := false
+	for i := 1; i <= 200; i++ {
+		if a.At(float64(i)*0.037+20) != c.At(float64(i)*0.037+20) {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different object IDs should yield different trajectories")
+	}
+}
+
+func TestWaypointSpeedBounded(t *testing.T) {
+	mean := 0.03
+	w := NewWaypoint(5, 1, space, mean, 0.2, geom.Pt(0.4, 0.4))
+	for i := 0; i < 500; i++ {
+		seg := w.SegmentAt(float64(i) * 0.05)
+		sp := seg.V.Norm()
+		if sp > 2*mean+1e-12 {
+			t.Fatalf("segment speed %v exceeds 2·v̄", sp)
+		}
+	}
+}
+
+func TestWaypointSegmentsChain(t *testing.T) {
+	w := NewWaypoint(9, 2, space, 0.05, 0.05, geom.Pt(0.5, 0.5))
+	prev := w.SegmentAt(0)
+	for i := 0; i < 300; i++ {
+		seg := w.SegmentAt(prev.T1 + 1e-12)
+		if seg.T0 != prev.T1 {
+			t.Fatalf("segment gap: prev ends %v, next starts %v", prev.T1, seg.T0)
+		}
+		if got, want := seg.Start, prev.At(prev.T1); got.Dist(want) > 1e-12 {
+			t.Fatalf("segment discontinuity: %v vs %v", got, want)
+		}
+		prev = seg
+	}
+}
+
+func TestSegmentAtClamps(t *testing.T) {
+	s := Segment{Start: geom.Pt(0, 0), V: geom.Pt(1, 0), T0: 1, T1: 2}
+	if s.At(0.5) != geom.Pt(0, 0) {
+		t.Fatal("before T0 should clamp to start")
+	}
+	if s.At(3) != geom.Pt(1, 0) {
+		t.Fatal("after T1 should clamp to end")
+	}
+	if s.At(1.5) != geom.Pt(0.5, 0) {
+		t.Fatal("midpoint wrong")
+	}
+}
+
+func TestDirectedStaysInSpaceAndIsSteady(t *testing.T) {
+	d := NewDirected(3, 11, space, 0.05, 0.2, 0.05, geom.Pt(0.5, 0.5))
+	var lastHeading float64
+	turns := 0
+	samples := 0
+	for i := 0; i <= 3000; i++ {
+		tt := float64(i) * 0.01
+		p := d.At(tt)
+		if !space.Expand(1e-9).Contains(p) {
+			t.Fatalf("t=%v: position %v escaped the space", tt, p)
+		}
+		seg := d.SegmentAt(tt)
+		if seg.V.Norm() > 0 {
+			h := math.Atan2(seg.V.Y, seg.V.X)
+			if samples > 0 {
+				dh := math.Abs(h - lastHeading)
+				if dh > math.Pi {
+					dh = 2*math.Pi - dh
+				}
+				if dh > 1.0 { // sharp turn (usually a bounce)
+					turns++
+				}
+			}
+			lastHeading = h
+			samples++
+		}
+	}
+	if turns > samples/5 {
+		t.Fatalf("directed model turns too often: %d sharp turns in %d samples", turns, samples)
+	}
+}
+
+func TestStartPositions(t *testing.T) {
+	a := StartPositions(7, 100, space)
+	b := StartPositions(7, 100, space)
+	if len(a) != 100 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("start positions must be deterministic")
+		}
+		if !space.Contains(a[i]) {
+			t.Fatalf("position %v outside space", a[i])
+		}
+	}
+	c := StartPositions(8, 100, space)
+	same := 0
+	for i := range c {
+		if c[i] == a[i] {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestZeroMeanPeriod(t *testing.T) {
+	// Degenerate configuration must not loop forever or divide by zero.
+	w := NewWaypoint(1, 1, space, 0.05, 0, geom.Pt(0.5, 0.5))
+	p := w.At(1.0)
+	if !space.Expand(1e-9).Contains(p) {
+		t.Fatalf("position %v", p)
+	}
+}

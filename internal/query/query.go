@@ -1,0 +1,190 @@
+// Package query defines the continuous spatial query model of the monitoring
+// framework: range queries and (order-sensitive or order-insensitive) kNN
+// queries, together with their quarantine areas (Section 3.3). The quarantine
+// area of a query is a region such that, while every result object stays
+// inside it and every non-result object stays outside it, the query's result
+// cannot change.
+package query
+
+import (
+	"fmt"
+
+	"srb/internal/geom"
+)
+
+// ID identifies a registered query.
+type ID uint64
+
+// Kind discriminates the supported query types.
+type Kind uint8
+
+const (
+	// KindRange monitors the set of objects inside a fixed rectangle.
+	KindRange Kind = iota
+	// KindKNN monitors the k nearest objects of a fixed query point.
+	KindKNN
+	// KindCircle monitors the set of objects within a fixed distance of a
+	// fixed point (a circular range query — the "within-distance alert" shape
+	// of proximity applications). It demonstrates the framework's generic
+	// interface: its quarantine area is the circle itself, and its safe
+	// regions reuse the kNN circle/complement constructions.
+	KindCircle
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRange:
+		return "range"
+	case KindKNN:
+		return "knn"
+	case KindCircle:
+		return "circle"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Query is a registered continuous query plus the state the server maintains
+// for it: current results and quarantine area.
+type Query struct {
+	ID   ID
+	Kind Kind
+
+	// Range query parameter.
+	Rect geom.Rect
+	// Aggregate marks a COUNT range query (the aggregate-query extension of
+	// Section 8): membership is tracked internally exactly like a range
+	// query, but only the cardinality of the result is reported.
+	Aggregate bool
+
+	// kNN query parameters.
+	Point          geom.Point
+	K              int
+	OrderSensitive bool
+
+	// Results holds the current result object IDs. For kNN queries the slice
+	// is ordered by distance (nearest first); for range queries the order is
+	// unspecified but deterministic.
+	Results []uint64
+	// InResult mirrors Results for O(1) membership tests.
+	InResult map[uint64]bool
+
+	// QRadius is the radius of the circular quarantine area of a kNN query.
+	// Range queries use Rect as their quarantine area.
+	QRadius float64
+}
+
+// NewRange constructs a range query over rect.
+func NewRange(id ID, rect geom.Rect) *Query {
+	return &Query{ID: id, Kind: KindRange, Rect: rect, InResult: map[uint64]bool{}}
+}
+
+// NewCountRange constructs an aggregate COUNT query over rect: the monitor
+// maintains the number of objects inside the rectangle and reports only the
+// count.
+func NewCountRange(id ID, rect geom.Rect) *Query {
+	q := NewRange(id, rect)
+	q.Aggregate = true
+	return q
+}
+
+// NewWithinDistance constructs a circular range query: the set of objects
+// within radius of center.
+func NewWithinDistance(id ID, center geom.Point, radius float64) *Query {
+	return &Query{ID: id, Kind: KindCircle, Point: center, QRadius: radius, InResult: map[uint64]bool{}}
+}
+
+// NewKNN constructs a kNN query anchored at pt.
+func NewKNN(id ID, pt geom.Point, k int, orderSensitive bool) *Query {
+	if k < 1 {
+		k = 1
+	}
+	return &Query{ID: id, Kind: KindKNN, Point: pt, K: k, OrderSensitive: orderSensitive, InResult: map[uint64]bool{}}
+}
+
+// QuarantineBBox returns the bounding rectangle of the quarantine area, the
+// extent indexed by the grid query index.
+func (q *Query) QuarantineBBox() geom.Rect {
+	if q.Kind == KindRange {
+		return q.Rect
+	}
+	return q.QuarantineCircle().BBox()
+}
+
+// Circle returns the fixed circle of a within-distance query.
+func (q *Query) Circle() geom.Circle {
+	return geom.Circle{Center: q.Point, R: q.QRadius}
+}
+
+// QuarantineCircle returns the circular quarantine area of a kNN query.
+func (q *Query) QuarantineCircle() geom.Circle {
+	return geom.Circle{Center: q.Point, R: q.QRadius}
+}
+
+// InQuarantine reports whether p lies inside the quarantine area.
+func (q *Query) InQuarantine(p geom.Point) bool {
+	if q.Kind == KindRange {
+		return q.Rect.Contains(p)
+	}
+	return q.QuarantineCircle().Contains(p) // kNN quarantine or fixed circle
+}
+
+// Affected reports whether a location update moving an object from pLst to p
+// may change this query's result (Section 3.3): for range queries the update
+// is relevant when exactly one of the two points is inside the quarantine
+// area; a kNN query is unaffected only when both are outside. (The paper
+// exempts order-insensitive kNN from the both-inside case; we keep it so the
+// server can detect and repair a non-result that was engulfed by a quarantine
+// circle growing over it — the reevaluation is a no-op for results.)
+func (q *Query) Affected(pLst, p geom.Point) bool {
+	inNew := q.InQuarantine(p)
+	inOld := q.InQuarantine(pLst)
+	if q.Kind == KindKNN {
+		return inNew || inOld
+	}
+	return inNew != inOld
+}
+
+// SetResults replaces the result list and membership index.
+func (q *Query) SetResults(ids []uint64) {
+	q.Results = ids
+	q.InResult = make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		q.InResult[id] = true
+	}
+}
+
+// ResultEquals reports whether other is the same result under this query's
+// ordering semantics: order-sensitive kNN compares sequences, everything else
+// compares sets.
+func (q *Query) ResultEquals(other []uint64) bool {
+	if len(q.Results) != len(other) {
+		return false
+	}
+	if q.Kind == KindKNN && q.OrderSensitive {
+		for i := range other {
+			if q.Results[i] != other[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for _, id := range other {
+		if !q.InResult[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy (used by schemes that need a private copy of the
+// registered workload).
+func (q *Query) Clone() *Query {
+	c := *q
+	c.Results = append([]uint64(nil), q.Results...)
+	c.InResult = make(map[uint64]bool, len(q.InResult))
+	for id := range q.InResult {
+		c.InResult[id] = true
+	}
+	return &c
+}

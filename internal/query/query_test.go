@@ -1,0 +1,129 @@
+package query
+
+import (
+	"testing"
+
+	"srb/internal/geom"
+)
+
+func TestRangeQuarantine(t *testing.T) {
+	q := NewRange(1, geom.R(0.2, 0.2, 0.4, 0.4))
+	if q.QuarantineBBox() != geom.R(0.2, 0.2, 0.4, 0.4) {
+		t.Fatalf("bbox = %v", q.QuarantineBBox())
+	}
+	if !q.InQuarantine(geom.Pt(0.3, 0.3)) || q.InQuarantine(geom.Pt(0.5, 0.3)) {
+		t.Fatal("range quarantine membership wrong")
+	}
+}
+
+func TestKNNQuarantine(t *testing.T) {
+	q := NewKNN(2, geom.Pt(0.5, 0.5), 3, true)
+	q.QRadius = 0.1
+	if !q.InQuarantine(geom.Pt(0.55, 0.5)) || q.InQuarantine(geom.Pt(0.65, 0.5)) {
+		t.Fatal("kNN quarantine membership wrong")
+	}
+	bb := q.QuarantineBBox()
+	if bb != geom.R(0.4, 0.4, 0.6, 0.6) {
+		t.Fatalf("bbox = %v", bb)
+	}
+}
+
+func TestAffectedRange(t *testing.T) {
+	q := NewRange(1, geom.R(0.2, 0.2, 0.4, 0.4))
+	in := geom.Pt(0.3, 0.3)
+	out := geom.Pt(0.7, 0.7)
+	if !q.Affected(out, in) || !q.Affected(in, out) {
+		t.Fatal("crossing the boundary must affect a range query")
+	}
+	if q.Affected(in, in) || q.Affected(out, out) {
+		t.Fatal("staying on one side must not affect a range query")
+	}
+}
+
+func TestAffectedKNNOrderSensitivity(t *testing.T) {
+	in := geom.Pt(0.52, 0.5)
+	in2 := geom.Pt(0.48, 0.5)
+	out := geom.Pt(0.9, 0.9)
+
+	sens := NewKNN(1, geom.Pt(0.5, 0.5), 2, true)
+	sens.QRadius = 0.1
+	if !sens.Affected(in, in2) {
+		t.Fatal("order-sensitive: movement inside quarantine may reorder results")
+	}
+	if sens.Affected(out, geom.Pt(0.91, 0.9)) {
+		t.Fatal("order-sensitive: both outside is unaffected")
+	}
+
+	insens := NewKNN(2, geom.Pt(0.5, 0.5), 2, false)
+	insens.QRadius = 0.1
+	// Both-inside counts as affected for every kNN kind in this
+	// implementation: the server uses it to detect and repair a non-result
+	// engulfed by a quarantine circle that grew over it (see Affected docs).
+	if !insens.Affected(in, in2) {
+		t.Fatal("order-insensitive: in-quarantine movement must reach the server for repair")
+	}
+	if !insens.Affected(in, out) {
+		t.Fatal("order-insensitive: exiting quarantine is affected")
+	}
+	if insens.Affected(out, geom.Pt(0.91, 0.9)) {
+		t.Fatal("order-insensitive: both outside is unaffected")
+	}
+}
+
+func TestSetResultsAndEquality(t *testing.T) {
+	q := NewKNN(1, geom.Pt(0, 0), 3, true)
+	q.SetResults([]uint64{5, 2, 9})
+	if !q.InResult[5] || !q.InResult[2] || !q.InResult[9] || q.InResult[7] {
+		t.Fatal("membership index wrong")
+	}
+	if !q.ResultEquals([]uint64{5, 2, 9}) {
+		t.Fatal("identical sequence must match")
+	}
+	if q.ResultEquals([]uint64{2, 5, 9}) {
+		t.Fatal("order-sensitive: permutation must not match")
+	}
+	if q.ResultEquals([]uint64{5, 2}) {
+		t.Fatal("length mismatch")
+	}
+
+	r := NewRange(2, geom.R(0, 0, 1, 1))
+	r.SetResults([]uint64{5, 2, 9})
+	if !r.ResultEquals([]uint64{9, 5, 2}) {
+		t.Fatal("range results are sets: permutation matches")
+	}
+	if r.ResultEquals([]uint64{9, 5, 7}) {
+		t.Fatal("different member must not match")
+	}
+
+	oi := NewKNN(3, geom.Pt(0, 0), 3, false)
+	oi.SetResults([]uint64{5, 2, 9})
+	if !oi.ResultEquals([]uint64{9, 5, 2}) {
+		t.Fatal("order-insensitive kNN compares sets")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	q := NewKNN(1, geom.Pt(0, 0), 2, false)
+	q.SetResults([]uint64{1, 2})
+	c := q.Clone()
+	c.SetResults([]uint64{3})
+	if len(q.Results) != 2 || !q.InResult[1] {
+		t.Fatal("clone mutated the original")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindRange.String() != "range" || KindKNN.String() != "knn" {
+		t.Fatal("kind strings")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind should still stringify")
+	}
+}
+
+func TestNewKNNClampsK(t *testing.T) {
+	q := NewKNN(1, geom.Pt(0, 0), 0, false)
+	if q.K != 1 {
+		t.Fatalf("K = %d, want clamp to 1", q.K)
+	}
+}

@@ -1,0 +1,68 @@
+package remote
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"srb/internal/core"
+	"srb/internal/viz"
+)
+
+// AdminHandler returns an HTTP handler exposing the server's operational
+// surface:
+//
+//	GET /stats     server work counters and population as JSON
+//	GET /snapshot  the monitor state as a gob snapshot (core.SaveSnapshot)
+//	GET /svg       the spatial state rendered as SVG (safe regions included)
+//
+// All endpoints serialize through the event loop, so they observe consistent
+// state.
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		var payload struct {
+			Objects int        `json:"objects"`
+			Queries int        `json:"queries"`
+			Clients int        `json:"clients"`
+			Stats   core.Stats `json:"stats"`
+		}
+		if err := s.do(func() {
+			payload.Objects = s.mon.NumObjects()
+			payload.Queries = s.mon.NumQueries()
+			payload.Clients = len(s.clients)
+			payload.Stats = s.mon.Stats()
+		}); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(payload)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		var err error
+		if derr := s.do(func() {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			err = s.mon.SaveSnapshot(w)
+		}); derr != nil {
+			http.Error(w, derr.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		if err != nil {
+			s.logf("remote: snapshot: %v", err)
+		}
+	})
+	mux.HandleFunc("/svg", func(w http.ResponseWriter, r *http.Request) {
+		var snap viz.Snapshot
+		if err := s.do(func() {
+			snap = viz.Capture(s.mon, s.mon.ObjectIDs(), s.mon.QueryIDs())
+		}); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "image/svg+xml")
+		if err := viz.Render(w, snap, viz.Options{Space: s.opt.Space, ShowSafeRegions: true, ShowQuarantines: true}); err != nil {
+			s.logf("remote: render svg: %v", err)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,297 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"srb/internal/geom"
+	"srb/internal/query"
+	"srb/internal/wire"
+)
+
+// MobileClient is the moving-object runtime: it keeps the current safe
+// region, reports the position to the server only when it leaves the region
+// (the source-initiated update of the paper), and answers server-initiated
+// probes with the current position.
+type MobileClient struct {
+	id    uint64
+	conn  net.Conn
+	codec *wire.Codec
+
+	mu       sync.Mutex
+	pos      geom.Point
+	region   geom.Rect
+	hasRgn   bool
+	updates  int64
+	probes   int64
+	closed   bool
+	readErr  error
+	readDone chan struct{}
+}
+
+// DialClient connects a mobile client, announcing its initial position. The
+// first safe region arrives asynchronously; until then every Tick reports.
+func DialClient(addr string, id uint64, start geom.Point) (*MobileClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &MobileClient{
+		id:       id,
+		conn:     conn,
+		codec:    wire.NewCodec(conn),
+		pos:      start,
+		readDone: make(chan struct{}),
+	}
+	hello := wire.Message{Type: wire.THello, Obj: id}
+	hello.SetPoint(start)
+	if err := c.send(hello); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *MobileClient) send(m wire.Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("remote: client %d closed", c.id)
+	}
+	return c.codec.Send(m)
+}
+
+// readLoop handles probes and safe-region grants.
+func (c *MobileClient) readLoop() {
+	defer close(c.readDone)
+	for {
+		m, err := c.codec.Recv()
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			c.mu.Unlock()
+			return
+		}
+		switch m.Type {
+		case wire.TRegion:
+			c.mu.Lock()
+			c.region = m.Rect()
+			c.hasRgn = true
+			pos := c.pos
+			outside := !c.region.Contains(pos)
+			c.mu.Unlock()
+			if outside {
+				// Already escaped the granted region (delays): report now.
+				c.report(pos)
+			}
+		case wire.TProbe:
+			c.mu.Lock()
+			pos := c.pos
+			c.probes++
+			c.mu.Unlock()
+			reply := wire.Message{Type: wire.TProbeReply, Obj: c.id, Seq: m.Seq}
+			reply.SetPoint(pos)
+			if err := c.send(reply); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (c *MobileClient) report(p geom.Point) {
+	m := wire.Message{Type: wire.TUpdate, Obj: c.id}
+	m.SetPoint(p)
+	c.mu.Lock()
+	c.updates++
+	c.mu.Unlock()
+	_ = c.send(m)
+}
+
+// Tick advances the client to position p, sending a location update exactly
+// when p is outside the current safe region (or none has arrived yet).
+func (c *MobileClient) Tick(p geom.Point) {
+	c.mu.Lock()
+	c.pos = p
+	needsReport := !c.hasRgn || !c.region.Contains(p)
+	if needsReport {
+		// Invalidate the region until the server grants a fresh one, so
+		// rapid ticks do not flood the uplink.
+		c.hasRgn = false
+	}
+	c.mu.Unlock()
+	if needsReport {
+		c.report(p)
+	}
+}
+
+// Region returns the current safe region and whether one has been granted.
+func (c *MobileClient) Region() (geom.Rect, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.region, c.hasRgn
+}
+
+// Stats returns the number of updates sent and probes answered.
+func (c *MobileClient) Stats() (updates, probes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.updates, c.probes
+}
+
+// Close says goodbye and tears the connection down.
+func (c *MobileClient) Close() error {
+	_ = c.send(wire.Message{Type: wire.TBye, Obj: c.id})
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.readDone
+	return err
+}
+
+// AppClient is an application-server handle: it registers continuous queries
+// and receives the stream of result updates.
+type AppClient struct {
+	conn  net.Conn
+	codec *wire.Codec
+
+	mu      sync.Mutex
+	pending map[uint64]chan wire.Message
+	updates chan ResultUpdate
+	closed  bool
+}
+
+// ResultUpdate is a pushed result change for a registered query. Aggregate
+// COUNT queries populate only Count.
+type ResultUpdate struct {
+	Query   query.ID
+	Results []uint64
+	Count   int
+}
+
+// DialApp connects an application server.
+func DialApp(addr string) (*AppClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a := &AppClient{
+		conn:    conn,
+		codec:   wire.NewCodec(conn),
+		pending: make(map[uint64]chan wire.Message),
+		updates: make(chan ResultUpdate, 256),
+	}
+	go a.readLoop()
+	return a, nil
+}
+
+func (a *AppClient) readLoop() {
+	defer close(a.updates)
+	for {
+		m, err := a.codec.Recv()
+		if err != nil {
+			return
+		}
+		a.mu.Lock()
+		ch := a.pending[m.QID]
+		if ch != nil {
+			delete(a.pending, m.QID)
+		}
+		a.mu.Unlock()
+		if ch != nil {
+			ch <- m
+			continue
+		}
+		if m.Type == wire.TResults {
+			select {
+			case a.updates <- ResultUpdate{Query: query.ID(m.QID), Results: m.IDs, Count: m.Count}:
+			default: // drop on backpressure rather than stalling the stream
+			}
+		}
+	}
+}
+
+// Updates streams result changes for all queries registered on this handle.
+// The channel closes when the connection drops.
+func (a *AppClient) Updates() <-chan ResultUpdate { return a.updates }
+
+func (a *AppClient) roundTrip(m wire.Message) (wire.Message, error) {
+	ch := make(chan wire.Message, 1)
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return wire.Message{}, fmt.Errorf("remote: app client closed")
+	}
+	a.pending[m.QID] = ch
+	err := a.codec.Send(m)
+	a.mu.Unlock()
+	if err != nil {
+		return wire.Message{}, err
+	}
+	reply, ok := <-ch
+	if !ok {
+		return wire.Message{}, fmt.Errorf("remote: connection closed")
+	}
+	if reply.Type == wire.TError {
+		return wire.Message{}, fmt.Errorf("remote: %s", reply.Err)
+	}
+	return reply, nil
+}
+
+// RegisterRange registers a continuous range query and returns its initial
+// result.
+func (a *AppClient) RegisterRange(id query.ID, r geom.Rect) ([]uint64, error) {
+	m := wire.Message{Type: wire.TRegisterRange, QID: uint64(id)}
+	m.SetRect(r)
+	reply, err := a.roundTrip(m)
+	return reply.IDs, err
+}
+
+// RegisterCount registers an aggregate COUNT range query and returns the
+// initial count.
+func (a *AppClient) RegisterCount(id query.ID, r geom.Rect) (int, error) {
+	m := wire.Message{Type: wire.TRegisterCount, QID: uint64(id)}
+	m.SetRect(r)
+	reply, err := a.roundTrip(m)
+	return reply.Count, err
+}
+
+// RegisterWithinDistance registers a circular range query (objects within
+// radius of center) and returns its initial result.
+func (a *AppClient) RegisterWithinDistance(id query.ID, center geom.Point, radius float64) ([]uint64, error) {
+	m := wire.Message{Type: wire.TRegisterCircle, QID: uint64(id), Radius: radius}
+	m.SetPoint(center)
+	reply, err := a.roundTrip(m)
+	return reply.IDs, err
+}
+
+// RegisterKNN registers a continuous kNN query and returns its initial
+// (distance-ordered) result.
+func (a *AppClient) RegisterKNN(id query.ID, pt geom.Point, k int, ordered bool) ([]uint64, error) {
+	m := wire.Message{Type: wire.TRegisterKNN, QID: uint64(id), K: k, Ordered: ordered}
+	m.SetPoint(pt)
+	reply, err := a.roundTrip(m)
+	return reply.IDs, err
+}
+
+// Deregister removes a query.
+func (a *AppClient) Deregister(id query.ID) error {
+	return a.codecSend(wire.Message{Type: wire.TDeregister, QID: uint64(id)})
+}
+
+func (a *AppClient) codecSend(m wire.Message) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.codec.Send(m)
+}
+
+// Close tears down the connection; the server deregisters this handle's
+// queries.
+func (a *AppClient) Close() error {
+	a.mu.Lock()
+	a.closed = true
+	a.mu.Unlock()
+	return a.conn.Close()
+}

@@ -1,0 +1,359 @@
+// Package remote runs the monitoring framework over a network: a Server
+// hosting the core Monitor, MobileClient runtimes that report location
+// updates only when leaving their safe region, and AppClient handles that
+// register continuous queries and stream result updates — the full system of
+// Figure 1.1, with TCP/JSON substituted for the paper's SOAP/HTTP transport.
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"srb/internal/core"
+	"srb/internal/geom"
+	"srb/internal/query"
+	"srb/internal/wire"
+)
+
+// probeTimeout bounds how long the server waits for a probe reply before
+// falling back to the client's last reported location.
+const probeTimeout = 2 * time.Second
+
+// Server hosts a Monitor on a TCP listener. All monitor operations run on a
+// single event-loop goroutine, matching the framework's sequential
+// processing assumption.
+type Server struct {
+	opt  core.Options
+	mon  *core.Monitor
+	ln   net.Listener
+	reqs chan func()
+	done chan struct{}
+
+	// State below is owned by the event loop goroutine.
+	clients map[uint64]*clientConn
+	watch   map[query.ID]*appConn
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	start     time.Time
+	logf      func(format string, args ...interface{})
+}
+
+type clientConn struct {
+	obj     uint64
+	codec   *wire.Codec
+	conn    net.Conn
+	lastPos geom.Point
+	seq     uint64
+	replies chan wire.Message
+}
+
+type appConn struct {
+	codec *wire.Codec
+	conn  net.Conn
+	mu    sync.Mutex // application frames are written from the event loop and registration acks
+}
+
+func (a *appConn) send(m wire.Message) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.codec.Send(m)
+}
+
+// NewServer creates a server with the given monitor options, listening on
+// addr (e.g. "127.0.0.1:0"). Serve must be called to start accepting.
+func NewServer(addr string, opt core.Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opt:     opt,
+		ln:      ln,
+		reqs:    make(chan func(), 4096),
+		done:    make(chan struct{}),
+		clients: make(map[uint64]*clientConn),
+		watch:   make(map[query.ID]*appConn),
+		start:   time.Now(),
+		logf:    log.Printf,
+	}
+	s.mon = core.New(opt, core.ProberFunc(s.probe), s.onResults)
+	return s, nil
+}
+
+// SetLogf replaces the server's logger (useful to silence tests).
+func (s *Server) SetLogf(f func(string, ...interface{})) {
+	if f == nil {
+		f = func(string, ...interface{}) {}
+	}
+	s.logf = f
+}
+
+// Addr returns the bound listener address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Serve runs the accept and event loops until Close. It always returns a
+// non-nil error (net.ErrClosed after a clean shutdown).
+func (s *Server) Serve() error {
+	s.wg.Add(1)
+	go s.loop()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.closeOnce.Do(func() { close(s.done) })
+			s.wg.Wait()
+			return err
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// Close stops the server and terminates all connections.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	s.closeOnce.Do(func() { close(s.done) })
+	return err
+}
+
+// loop serializes all monitor operations.
+func (s *Server) loop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case f := <-s.reqs:
+			s.mon.SetTime(time.Since(s.start).Seconds())
+			f()
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// do schedules an operation on the event loop and waits for it.
+func (s *Server) do(f func()) error {
+	doneCh := make(chan struct{})
+	select {
+	case s.reqs <- func() { f(); close(doneCh) }:
+	case <-s.done:
+		return errors.New("remote: server closed")
+	}
+	select {
+	case <-doneCh:
+		return nil
+	case <-s.done:
+		return errors.New("remote: server closed")
+	}
+}
+
+// probe implements the server-initiated probe: a round trip to the client's
+// connection, falling back to the last reported location on timeout or after
+// disconnect.
+func (s *Server) probe(id uint64) geom.Point {
+	c := s.clients[id]
+	if c == nil {
+		return geom.Point{}
+	}
+	c.seq++
+	seq := c.seq
+	if err := c.codec.Send(wire.Message{Type: wire.TProbe, Seq: seq}); err != nil {
+		return c.lastPos
+	}
+	timer := time.NewTimer(probeTimeout)
+	defer timer.Stop()
+	for {
+		select {
+		case m := <-c.replies:
+			if m.Seq == seq {
+				c.lastPos = m.Point()
+				return c.lastPos
+			}
+			// Stale reply to an earlier probe: keep draining.
+		case <-timer.C:
+			return c.lastPos
+		case <-s.done:
+			return c.lastPos
+		}
+	}
+}
+
+// onResults pushes a changed result to the application server watching the
+// query. Runs on the event loop.
+func (s *Server) onResults(u core.ResultUpdate) {
+	if a := s.watch[u.Query]; a != nil {
+		if err := a.send(wire.Message{Type: wire.TResults, QID: uint64(u.Query), IDs: u.Results, Count: u.Count}); err != nil {
+			s.logf("remote: push results to app: %v", err)
+		}
+	}
+}
+
+// handle demultiplexes a new connection by its first frame: a THello starts a
+// mobile-client session, anything else an application session.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	codec := wire.NewCodec(conn)
+	first, err := codec.Recv()
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	if first.Type == wire.THello {
+		s.serveClient(conn, codec, first)
+		return
+	}
+	s.serveApp(conn, codec, first)
+}
+
+func (s *Server) serveClient(conn net.Conn, codec *wire.Codec, hello wire.Message) {
+	defer conn.Close()
+	c := &clientConn{
+		obj:     hello.Obj,
+		codec:   codec,
+		conn:    conn,
+		lastPos: hello.Point(),
+		replies: make(chan wire.Message, 4),
+	}
+	// The client reader must never wait for the event loop: the loop may be
+	// blocked probing this very connection, and the probe reply has to keep
+	// flowing. Updates are therefore fire-and-forget enqueues; FIFO order per
+	// connection is preserved by the request channel.
+	enqueue := func(f func()) error {
+		select {
+		case s.reqs <- f:
+			return nil
+		case <-s.done:
+			return errors.New("remote: server closed")
+		}
+	}
+	if err := enqueue(func() {
+		s.clients[c.obj] = c
+		c.lastPos = hello.Point()
+		s.dispatchRegions(c.obj, s.mon.AddObject(c.obj, hello.Point()))
+	}); err != nil {
+		return
+	}
+	defer func() {
+		_ = enqueue(func() {
+			delete(s.clients, c.obj)
+			s.mon.RemoveObject(c.obj)
+		})
+	}()
+	for {
+		m, err := codec.Recv()
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case wire.TUpdate:
+			p := m.Point()
+			if err := enqueue(func() {
+				c.lastPos = p
+				s.dispatchRegions(c.obj, s.mon.Update(c.obj, p))
+			}); err != nil {
+				return
+			}
+		case wire.TProbeReply:
+			select {
+			case c.replies <- m:
+			default:
+			}
+		case wire.TBye:
+			return
+		default:
+			s.logf("remote: client %d sent unexpected %q", c.obj, m.Type)
+		}
+	}
+}
+
+// dispatchRegions delivers refreshed safe regions to their clients. Runs on
+// the event loop.
+func (s *Server) dispatchRegions(primary uint64, ups []core.SafeRegionUpdate) {
+	for _, u := range ups {
+		c := s.clients[u.Object]
+		if c == nil {
+			continue
+		}
+		var m wire.Message
+		m.Type = wire.TRegion
+		m.Obj = u.Object
+		m.SetRect(u.Region)
+		if err := c.codec.Send(m); err != nil && u.Object == primary {
+			s.logf("remote: send region to %d: %v", u.Object, err)
+		}
+	}
+}
+
+func (s *Server) serveApp(conn net.Conn, codec *wire.Codec, first wire.Message) {
+	defer conn.Close()
+	a := &appConn{codec: codec, conn: conn}
+	var owned []query.ID
+	defer func() {
+		_ = s.do(func() {
+			for _, qid := range owned {
+				s.mon.Deregister(qid)
+				delete(s.watch, qid)
+			}
+		})
+	}()
+	m := first
+	for {
+		switch m.Type {
+		case wire.TRegisterRange, wire.TRegisterKNN, wire.TRegisterCount, wire.TRegisterCircle:
+			qid := query.ID(m.QID)
+			req := m
+			var results []uint64
+			var count int
+			var regErr error
+			err := s.do(func() {
+				var ups []core.SafeRegionUpdate
+				switch req.Type {
+				case wire.TRegisterRange:
+					results, ups, regErr = s.mon.RegisterRange(qid, req.Rect())
+					count = len(results)
+				case wire.TRegisterCount:
+					count, ups, regErr = s.mon.RegisterCount(qid, req.Rect())
+				case wire.TRegisterCircle:
+					results, ups, regErr = s.mon.RegisterWithinDistance(qid, req.Point(), req.Radius)
+					count = len(results)
+				default:
+					results, ups, regErr = s.mon.RegisterKNN(qid, req.Point(), req.K, req.Ordered)
+					count = len(results)
+				}
+				if regErr == nil {
+					s.watch[qid] = a
+					owned = append(owned, qid)
+					s.dispatchRegions(0, ups)
+				}
+			})
+			if err != nil {
+				return
+			}
+			reply := wire.Message{Type: wire.TResults, QID: m.QID, IDs: results, Count: count}
+			if regErr != nil {
+				reply = wire.Message{Type: wire.TError, QID: m.QID, Err: regErr.Error()}
+			}
+			if err := a.send(reply); err != nil {
+				return
+			}
+		case wire.TDeregister:
+			qid := query.ID(m.QID)
+			if err := s.do(func() {
+				s.mon.Deregister(qid)
+				delete(s.watch, qid)
+			}); err != nil {
+				return
+			}
+		default:
+			_ = a.send(wire.Message{Type: wire.TError, Err: fmt.Sprintf("unexpected %q", m.Type)})
+		}
+		var err error
+		m, err = codec.Recv()
+		if err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"srb/internal/geom"
+)
+
+// BulkLoad builds a tree from items using Sort-Tile-Recursive packing
+// (Leutenegger et al., ICDE 1997): items are sorted into √s vertical slabs by
+// center x, each slab sorted by center y, and packed into full leaves. The
+// resulting tree is balanced with near-minimal overlap and builds in
+// O(n log n), far faster than repeated insertion — useful for initial
+// population at paper scale (100k objects) and for periodic-monitoring
+// baselines that rebuild every cycle.
+func BulkLoad(items []Item) *Tree {
+	return BulkLoadWithCapacity(items, defaultMax)
+}
+
+// BulkLoadWithCapacity is BulkLoad with an explicit node capacity.
+func BulkLoadWithCapacity(items []Item, max int) *Tree {
+	t := NewWithCapacity(max)
+	if len(items) == 0 {
+		return t
+	}
+	// Pack leaves.
+	entries := make([]entry, len(items))
+	for i, it := range items {
+		entries[i] = entry{rect: it.Rect, item: it}
+	}
+	level := 0
+	for {
+		nodes := strPack(entries, t.max, level)
+		if len(nodes) == 1 {
+			t.root = nodes[0]
+			break
+		}
+		parents := make([]entry, len(nodes))
+		for i, n := range nodes {
+			parents[i] = entry{rect: n.mbr(), child: n}
+		}
+		entries = parents
+		level++
+	}
+	t.size = len(items)
+	var index func(n *Node)
+	index = func(n *Node) {
+		for i := range n.entries {
+			if c := n.entries[i].child; c != nil {
+				c.parent = n
+				index(c)
+			} else {
+				t.leafOf[n.entries[i].item.ID] = n
+			}
+		}
+	}
+	index(t.root)
+	return t
+}
+
+// strPack groups entries into nodes of the given level using STR tiling.
+// Group sizes are distributed evenly rather than greedily so every node
+// (except a lone root) meets the R*-tree minimum fill: with k = ⌈n/max⌉
+// groups, an even split gives every group more than max/2 ≥ min entries.
+func strPack(entries []entry, max, level int) []*Node {
+	n := len(entries)
+	nodeCount := (n + max - 1) / max
+	slabs := int(math.Ceil(math.Sqrt(float64(nodeCount))))
+	if slabs < 1 {
+		slabs = 1
+	}
+
+	sorted := make([]entry, n)
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		return centerX(sorted[i].rect) < centerX(sorted[j].rect)
+	})
+
+	var nodes []*Node
+	off := 0
+	for _, slabSize := range splitEven(n, slabs*max) {
+		slab := sorted[off : off+slabSize]
+		off += slabSize
+		sort.Slice(slab, func(i, j int) bool {
+			return centerY(slab[i].rect) < centerY(slab[j].rect)
+		})
+		o := 0
+		for _, groupSize := range splitEven(len(slab), max) {
+			node := &Node{level: level, entries: append([]entry(nil), slab[o:o+groupSize]...)}
+			o += groupSize
+			nodes = append(nodes, node)
+		}
+	}
+	return nodes
+}
+
+// splitEven partitions n into ⌈n/maxPer⌉ sizes that differ by at most one,
+// each ≤ maxPer.
+func splitEven(n, maxPer int) []int {
+	if n <= 0 {
+		return nil
+	}
+	k := (n + maxPer - 1) / maxPer
+	base := n / k
+	rem := n % k
+	out := make([]int, k)
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+func centerX(r geom.Rect) float64 { return (r.MinX + r.MaxX) / 2 }
+func centerY(r geom.Rect) float64 { return (r.MinY + r.MaxY) / 2 }

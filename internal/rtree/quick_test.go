@@ -1,0 +1,77 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"srb/internal/geom"
+)
+
+// TestQuickOpSequences runs randomized insert/update/delete sequences against
+// a map reference: after every batch the tree's invariants must hold and a
+// full-space search must return exactly the live IDs.
+func TestQuickOpSequences(t *testing.T) {
+	f := func(seed int64, capSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 4 + int(capSel%13)
+		tr := NewWithCapacity(capacity)
+		ref := map[uint64]geom.Rect{}
+		nextID := uint64(0)
+		for op := 0; op < 600; op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // insert
+				x, y := rng.Float64(), rng.Float64()
+				r := geom.R(x, y, x+rng.Float64()*0.1, y+rng.Float64()*0.1)
+				tr.Insert(nextID, r)
+				ref[nextID] = r
+				nextID++
+			case 2: // update random live
+				if len(ref) == 0 {
+					continue
+				}
+				id := uint64(rng.Intn(int(nextID)))
+				if _, ok := ref[id]; !ok {
+					continue
+				}
+				x, y := rng.Float64(), rng.Float64()
+				r := geom.R(x, y, x+rng.Float64()*0.05, y+rng.Float64()*0.05)
+				tr.Update(id, r)
+				ref[id] = r
+			default: // delete random live
+				if len(ref) == 0 {
+					continue
+				}
+				id := uint64(rng.Intn(int(nextID)))
+				_, ok := ref[id]
+				if tr.Delete(id) != ok {
+					return false
+				}
+				delete(ref, id)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			return false
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		got := map[uint64]geom.Rect{}
+		tr.All(func(it Item) bool {
+			got[it.ID] = it.Rect
+			return true
+		})
+		if len(got) != len(ref) {
+			return false
+		}
+		for id, r := range ref {
+			if got[id] != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

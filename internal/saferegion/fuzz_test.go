@@ -1,0 +1,44 @@
+package saferegion
+
+import (
+	"math"
+	"testing"
+
+	"srb/internal/geom"
+)
+
+// FuzzBatch checks the core safety property of the batch safe-region
+// computation on arbitrary inputs: the result contains p and its interior
+// avoids every obstacle's interior.
+func FuzzBatch(f *testing.F) {
+	f.Add(0.5, 0.5, 0.2, 0.2, 0.4, 0.4, 0.6, 0.1, 0.8, 0.3)
+	f.Add(0.1, 0.9, 0.0, 0.0, 1.0, 0.5, 0.5, 0.6, 0.7, 0.7)
+	f.Fuzz(func(t *testing.T, px, py, a1, b1, a2, b2, c1, d1, c2, d2 float64) {
+		for _, v := range []float64{px, py, a1, b1, a2, b2, c1, d1, c2, d2} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < -10 || v > 10 {
+				t.Skip()
+			}
+		}
+		cell := geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+		p := geom.Pt(px, py)
+		obs := []geom.Rect{geom.R(a1, b1, a2, b2), geom.R(c1, d1, c2, d2)}
+		for _, o := range obs {
+			if o.Contains(p) && (p.X > o.MinX && p.X < o.MaxX && p.Y > o.MinY && p.Y < o.MaxY) {
+				t.Skip() // precondition: p not interior to an obstacle
+			}
+		}
+		got := ForRangeBatch(obs, p, cell, geom.ExitObjective(p))
+		if !got.IsValid() {
+			t.Fatalf("invalid region %v", got)
+		}
+		if !got.Contains(p) {
+			t.Fatalf("region %v excludes p %v", got, p)
+		}
+		for _, o := range obs {
+			inter := got.Intersect(o)
+			if inter.IsValid() && inter.Area() > 1e-9 {
+				t.Fatalf("region %v overlaps obstacle %v", got, o)
+			}
+		}
+	})
+}

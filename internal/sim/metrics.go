@@ -1,0 +1,28 @@
+package sim
+
+import "srb/internal/mobility"
+
+// finalize fills the derived metrics common to all schemes.
+func finalize(res *Result, cfg Config, ok, total int64, curs []*mobility.Cursor) {
+	if total > 0 {
+		res.Accuracy = float64(ok) / float64(total)
+	} else {
+		res.Accuracy = 1
+	}
+	res.CommCost = cfg.Cl*float64(res.Updates) + cfg.Cp*float64(res.Probes)
+	if cfg.N > 0 && cfg.Duration > 0 {
+		res.CommPerClientTime = res.CommCost / (float64(cfg.N) * cfg.Duration)
+	}
+	var dist float64
+	for _, c := range curs {
+		c.At(cfg.Duration) // extend the cached window through the horizon
+		dist += c.DistanceTraveled(cfg.Duration)
+	}
+	res.Distance = dist
+	if dist > 0 {
+		res.CommPerDistance = res.CommCost / dist
+	}
+	if cfg.Duration > 0 {
+		res.CPUPerTimeUnit = res.CPUTime.Seconds() / cfg.Duration
+	}
+}

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config {
+	c := Default()
+	c.N = 150
+	c.W = 10
+	c.Duration = 3
+	c.SampleEvery = 0.1
+	c.QLen = 0.05
+	c.GridM = 8
+	return c
+}
+
+func TestSRBPerfectAccuracyWithoutDelay(t *testing.T) {
+	r := RunSRB(tiny())
+	if r.Accuracy != 1 {
+		t.Fatalf("SRB with τ=0 must be exact, accuracy = %v", r.Accuracy)
+	}
+	if r.Updates == 0 {
+		t.Fatal("expected some source-initiated updates")
+	}
+	if r.CommCost <= 0 || r.CommPerClientTime <= 0 {
+		t.Fatalf("cost accounting broken: %+v", r)
+	}
+	if r.Distance <= 0 {
+		t.Fatal("expected distance traveled")
+	}
+}
+
+func TestSRBDeterministic(t *testing.T) {
+	a := RunSRB(tiny())
+	b := RunSRB(tiny())
+	if a.Updates != b.Updates || a.Probes != b.Probes || a.Accuracy != b.Accuracy {
+		t.Fatalf("non-deterministic run: %+v vs %+v", a, b)
+	}
+}
+
+func TestSRBAccuracyDegradesWithDelay(t *testing.T) {
+	cfg := tiny()
+	cfg.Tau = 0.5
+	delayed := RunSRB(cfg)
+	if delayed.Accuracy >= 1 {
+		t.Fatalf("large delay should cause some staleness, accuracy = %v", delayed.Accuracy)
+	}
+	if delayed.Accuracy < 0.3 {
+		t.Fatalf("accuracy collapsed unexpectedly: %v", delayed.Accuracy)
+	}
+}
+
+func TestOPTIsLowerBound(t *testing.T) {
+	cfg := tiny()
+	opt := RunOPT(cfg)
+	srb := RunSRB(cfg)
+	if opt.Accuracy != 1 {
+		t.Fatalf("OPT accuracy = %v", opt.Accuracy)
+	}
+	if opt.CommCost > srb.CommCost {
+		t.Fatalf("OPT (%v) must not cost more than SRB (%v)", opt.CommCost, srb.CommCost)
+	}
+	if opt.Updates == 0 {
+		t.Fatal("expected result changes under movement")
+	}
+}
+
+func TestPRDCostFormula(t *testing.T) {
+	cfg := tiny()
+	prd := RunPRD(cfg, 1)
+	// One synchronization of N clients per period plus the initial one: the
+	// per-client per-time cost must be Cl/tPrd.
+	want := cfg.Cl / 1.0
+	got := prd.CommPerClientTime
+	// The initial sync adds 1/Duration extra per client.
+	slack := cfg.Cl / cfg.Duration
+	if math.Abs(got-want) > slack+1e-9 {
+		t.Fatalf("PRD(1) cost per client-time = %v, want ≈ %v", got, want)
+	}
+	prdFast := RunPRD(cfg, 0.1)
+	if prdFast.CommPerClientTime < 9 || prdFast.CommPerClientTime > 11.5 {
+		t.Fatalf("PRD(0.1) cost per client-time = %v, want ≈ 10", prdFast.CommPerClientTime)
+	}
+}
+
+func TestPRDAccuracyOrdering(t *testing.T) {
+	cfg := tiny()
+	fast := RunPRD(cfg, 0.1)
+	slow := RunPRD(cfg, 1)
+	if fast.Accuracy <= slow.Accuracy {
+		t.Fatalf("PRD(0.1) accuracy %v should beat PRD(1) %v", fast.Accuracy, slow.Accuracy)
+	}
+	if fast.Accuracy >= 1 {
+		t.Fatalf("periodic monitoring cannot be exact under movement: %v", fast.Accuracy)
+	}
+}
+
+func TestSRBBeatsPRDOnAccuracyAndCost(t *testing.T) {
+	cfg := tiny()
+	srb := RunSRB(cfg)
+	prd := RunPRD(cfg, 0.1)
+	if srb.Accuracy < prd.Accuracy {
+		t.Fatalf("SRB accuracy %v below PRD(0.1) %v", srb.Accuracy, prd.Accuracy)
+	}
+	if srb.CommPerClientTime >= prd.CommPerClientTime {
+		t.Fatalf("SRB cost %v should undercut PRD(0.1) %v", srb.CommPerClientTime, prd.CommPerClientTime)
+	}
+}
+
+func TestReachabilityEnhancementReducesCost(t *testing.T) {
+	cfg := Default()
+	cfg.N = 600
+	cfg.W = 20
+	cfg.Duration = 3
+	plain := RunSRB(cfg)
+	cfg.MaxSpeed = 2 * cfg.MeanSpeed
+	enh := RunSRB(cfg)
+	if enh.Accuracy != 1 {
+		t.Fatalf("enhancement must preserve exactness, accuracy = %v", enh.Accuracy)
+	}
+	if enh.CommCost > plain.CommCost {
+		t.Fatalf("reachability circle increased cost: %v > %v", enh.CommCost, plain.CommCost)
+	}
+	if enh.Stats.VirtualProbes == 0 {
+		t.Fatal("expected virtual probes with MaxSpeed enabled")
+	}
+}
+
+func TestSteadyMovementPreservesExactness(t *testing.T) {
+	cfg := tiny()
+	cfg.Steadiness = 0.5
+	cfg.MeanPeriod = 0.5 // steady movement
+	r := RunSRB(cfg)
+	if r.Accuracy != 1 {
+		t.Fatalf("weighted perimeter must preserve exactness, accuracy = %v", r.Accuracy)
+	}
+}
+
+func TestDirectedMobility(t *testing.T) {
+	cfg := tiny()
+	cfg.Mobility = "directed"
+	r := RunSRB(cfg)
+	if r.Accuracy != 1 {
+		t.Fatalf("SRB must stay exact under directed mobility: %v", r.Accuracy)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 12 {
+		t.Fatalf("expected 12 experiments (1 table + 11 figures), got %d", len(exps))
+	}
+	if _, ok := ExperimentByID("fig7.5"); !ok {
+		t.Fatal("fig7.5 missing")
+	}
+	if _, ok := ExperimentByID("nope"); ok {
+		t.Fatal("unknown id should miss")
+	}
+}
+
+func TestExperimentTablesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweeps are slow")
+	}
+	base := tiny()
+	base.N = 100
+	base.W = 8
+	base.Duration = 2
+	for _, e := range Experiments() {
+		tab := e.Run(base)
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s produced no rows", e.ID)
+		}
+		if s := tab.Format(); len(s) == 0 {
+			t.Fatalf("%s format empty", e.ID)
+		}
+	}
+}
+
+func TestPaperConfigShape(t *testing.T) {
+	p := Paper()
+	if p.N != 100000 || p.W != 1000 || p.GridM != 50 || p.QLen != 0.005 {
+		t.Fatalf("paper defaults drifted: %+v", p)
+	}
+	d := Default()
+	if d.Cl != 1 || d.Cp != 1.5 {
+		t.Fatalf("cost units drifted: %+v", d)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := Table{
+		XLabel:  "tau",
+		Columns: []string{"SRB", "PRD(0.1)", `weird,"col`},
+		Rows: []TableRow{
+			{X: 0, Values: []float64{1, 0.5, 2}},
+			{X: 0.25, Values: []float64{0.9, 0.4, 3}},
+		},
+	}
+	got := tab.CSV()
+	want := "tau,SRB,PRD(0.1),\"weird,\"\"col\"\n0,1,0.5,2\n0.25,0.9,0.4,3\n"
+	if got != want {
+		t.Fatalf("CSV:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestPRDGridMatchesPRDBehavior(t *testing.T) {
+	cfg := tiny()
+	grid := RunPRDGrid(cfg, 0.1)
+	tree := RunPRD(cfg, 0.1)
+	// Same synchronization schedule → same update count and cost; the
+	// accuracies agree too because both evaluate exact positions at the same
+	// instants (kNN ties could differ, hence tolerance).
+	if grid.Updates != tree.Updates {
+		t.Fatalf("updates %d vs %d", grid.Updates, tree.Updates)
+	}
+	if math.Abs(grid.Accuracy-tree.Accuracy) > 0.02 {
+		t.Fatalf("accuracy %v vs %v", grid.Accuracy, tree.Accuracy)
+	}
+	if grid.Accuracy >= 1 {
+		t.Fatal("periodic monitoring cannot be exact under movement")
+	}
+}

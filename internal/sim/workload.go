@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+
+	"srb/internal/exact"
+	"srb/internal/geom"
+	"srb/internal/mobility"
+	"srb/internal/query"
+)
+
+// QuerySpec is a query of the simulated workload.
+type QuerySpec struct {
+	ID             query.ID
+	Kind           query.Kind
+	Rect           geom.Rect
+	Point          geom.Point
+	K              int
+	OrderSensitive bool
+}
+
+// genQueries builds the Section 7.1 workload: W/2 square range queries with
+// side U[0.5, 1.5]·QLen and W/2 order-sensitive kNN queries with k U[1, KMax],
+// both uniformly placed.
+func genQueries(cfg Config) []QuerySpec {
+	rng := rand.New(rand.NewSource(cfg.Seed*7919 + 17))
+	out := make([]QuerySpec, 0, cfg.W)
+	nRange := cfg.W / 2
+	for i := 0; i < cfg.W; i++ {
+		if i < nRange {
+			side := cfg.QLen * (0.5 + rng.Float64())
+			x := cfg.Space.MinX + rng.Float64()*(cfg.Space.Width()-side)
+			y := cfg.Space.MinY + rng.Float64()*(cfg.Space.Height()-side)
+			out = append(out, QuerySpec{
+				ID:   query.ID(i + 1),
+				Kind: query.KindRange,
+				Rect: geom.R(x, y, x+side, y+side),
+			})
+			continue
+		}
+		k := 1 + rng.Intn(cfg.KMax)
+		out = append(out, QuerySpec{
+			ID:             query.ID(i + 1),
+			Kind:           query.KindKNN,
+			Point:          geom.Pt(cfg.Space.MinX+rng.Float64()*cfg.Space.Width(), cfg.Space.MinY+rng.Float64()*cfg.Space.Height()),
+			K:              k,
+			OrderSensitive: true,
+		})
+	}
+	return out
+}
+
+// newCursors builds the deterministic client trajectories.
+func newCursors(cfg Config) []*mobility.Cursor {
+	starts := mobility.StartPositions(cfg.Seed, cfg.N, cfg.Space)
+	out := make([]*mobility.Cursor, cfg.N)
+	for i := range out {
+		var m mobility.Model
+		if cfg.Mobility == "directed" {
+			m = mobility.NewDirected(cfg.Seed, uint64(i), cfg.Space, cfg.MeanSpeed, cfg.MeanPeriod, 0.2, starts[i])
+		} else {
+			m = mobility.NewWaypoint(cfg.Seed, uint64(i), cfg.Space, cfg.MeanSpeed, cfg.MeanPeriod, starts[i])
+		}
+		out[i] = mobility.NewCursor(m)
+	}
+	return out
+}
+
+// truth evaluates ground-truth query results from exact positions.
+type truth struct {
+	ix   *exact.Index
+	curs []*mobility.Cursor
+}
+
+func newTruth(cfg Config, curs []*mobility.Cursor) *truth {
+	m := 1
+	for m*m < cfg.N/4 {
+		m++
+	}
+	if m > 256 {
+		m = 256
+	}
+	tr := &truth{ix: exact.New(m, cfg.Space), curs: curs}
+	return tr
+}
+
+// advance moves the exact index to time t.
+func (tr *truth) advance(t float64) {
+	for i, c := range tr.curs {
+		tr.ix.Set(uint64(i), c.At(t))
+	}
+}
+
+// results returns the true result of a query at the current index time; kNN
+// results are ordered by distance with ties broken by ID.
+func (tr *truth) results(q QuerySpec) []uint64 {
+	if q.Kind == query.KindRange {
+		return tr.ix.Range(q.Rect)
+	}
+	nbs := tr.ix.KNN(q.Point, q.K, nil)
+	out := make([]uint64, len(nbs))
+	for i, n := range nbs {
+		out[i] = n.ID
+	}
+	return out
+}
+
+// sameResult compares a monitored result with the truth under the query's
+// ordering semantics.
+func sameResult(q QuerySpec, monitored, real []uint64) bool {
+	if len(monitored) != len(real) {
+		return false
+	}
+	if q.Kind == query.KindKNN && q.OrderSensitive {
+		for i := range real {
+			if monitored[i] != real[i] {
+				return false
+			}
+		}
+		return true
+	}
+	ms := append([]uint64(nil), monitored...)
+	rs := append([]uint64(nil), real...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	for i := range rs {
+		if ms[i] != rs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,295 @@
+// Package trace records monitoring workloads — object arrivals, location
+// updates, query registrations — as JSON-lines streams and replays them
+// deterministically against a Monitor. Captured traces reproduce production
+// incidents offline and double as regression fixtures.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"srb/internal/core"
+	"srb/internal/geom"
+	"srb/internal/query"
+)
+
+// Operation names.
+const (
+	OpAdd        = "add"
+	OpUpdate     = "update"
+	OpRemove     = "remove"
+	OpRange      = "range"
+	OpKNN        = "knn"
+	OpCount      = "count"
+	OpCircle     = "circle"
+	OpDeregister = "dereg"
+	// OpProbe records a server-initiated probe's answer; written by the
+	// prober wrapper returned from Recorder.WrapProber and consumed by
+	// ReplayExact to reproduce the live run bit for bit (probes observe
+	// positions that are otherwise absent from the trace).
+	OpProbe = "probe"
+)
+
+// Event is one recorded operation.
+type Event struct {
+	T  float64 `json:"t"`
+	Op string  `json:"op"`
+
+	Obj uint64  `json:"obj,omitempty"`
+	X   float64 `json:"x,omitempty"`
+	Y   float64 `json:"y,omitempty"`
+
+	QID     uint64  `json:"qid,omitempty"`
+	MinX    float64 `json:"minx,omitempty"`
+	MinY    float64 `json:"miny,omitempty"`
+	MaxX    float64 `json:"maxx,omitempty"`
+	MaxY    float64 `json:"maxy,omitempty"`
+	K       int     `json:"k,omitempty"`
+	Ordered bool    `json:"ord,omitempty"`
+	Radius  float64 `json:"radius,omitempty"`
+}
+
+// Recorder serializes events to a stream. It is not safe for concurrent use;
+// wrap it in the same serialization discipline as the Monitor itself.
+type Recorder struct {
+	w     *bufio.Writer
+	enc   *json.Encoder
+	n     int64
+	lastT float64
+}
+
+// NewRecorder writes JSON lines to w.
+func NewRecorder(w io.Writer) *Recorder {
+	bw := bufio.NewWriter(w)
+	return &Recorder{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Events returns the number of events recorded so far.
+func (r *Recorder) Events() int64 { return r.n }
+
+// Flush writes any buffered events through.
+func (r *Recorder) Flush() error { return r.w.Flush() }
+
+func (r *Recorder) emit(e Event) error {
+	r.n++
+	r.lastT = e.T
+	return r.enc.Encode(e)
+}
+
+// WrapProber returns a Prober that records every probe answer into the
+// trace. Drive the monitor with the wrapped prober and write each operation's
+// event *before* invoking the monitor, so probe events nest after their
+// operation in the stream — the layout ReplayExact expects.
+func (r *Recorder) WrapProber(inner core.Prober) core.Prober {
+	return core.ProberFunc(func(id uint64) geom.Point {
+		p := inner.Probe(id)
+		_ = r.emit(Event{T: r.lastT, Op: OpProbe, Obj: id, X: p.X, Y: p.Y})
+		return p
+	})
+}
+
+// Add records an object arrival.
+func (r *Recorder) Add(t float64, id uint64, p geom.Point) error {
+	return r.emit(Event{T: t, Op: OpAdd, Obj: id, X: p.X, Y: p.Y})
+}
+
+// Update records a source-initiated location update.
+func (r *Recorder) Update(t float64, id uint64, p geom.Point) error {
+	return r.emit(Event{T: t, Op: OpUpdate, Obj: id, X: p.X, Y: p.Y})
+}
+
+// Remove records an object departure.
+func (r *Recorder) Remove(t float64, id uint64) error {
+	return r.emit(Event{T: t, Op: OpRemove, Obj: id})
+}
+
+// RegisterRange records a range-query registration.
+func (r *Recorder) RegisterRange(t float64, id query.ID, rect geom.Rect) error {
+	return r.emit(Event{T: t, Op: OpRange, QID: uint64(id), MinX: rect.MinX, MinY: rect.MinY, MaxX: rect.MaxX, MaxY: rect.MaxY})
+}
+
+// RegisterCount records an aggregate COUNT registration.
+func (r *Recorder) RegisterCount(t float64, id query.ID, rect geom.Rect) error {
+	return r.emit(Event{T: t, Op: OpCount, QID: uint64(id), MinX: rect.MinX, MinY: rect.MinY, MaxX: rect.MaxX, MaxY: rect.MaxY})
+}
+
+// RegisterKNN records a kNN registration.
+func (r *Recorder) RegisterKNN(t float64, id query.ID, pt geom.Point, k int, ordered bool) error {
+	return r.emit(Event{T: t, Op: OpKNN, QID: uint64(id), X: pt.X, Y: pt.Y, K: k, Ordered: ordered})
+}
+
+// RegisterWithinDistance records a circular range registration.
+func (r *Recorder) RegisterWithinDistance(t float64, id query.ID, center geom.Point, radius float64) error {
+	return r.emit(Event{T: t, Op: OpCircle, QID: uint64(id), X: center.X, Y: center.Y, Radius: radius})
+}
+
+// Deregister records a query removal.
+func (r *Recorder) Deregister(t float64, id query.ID) error {
+	return r.emit(Event{T: t, Op: OpDeregister, QID: uint64(id)})
+}
+
+// Stats summarizes a replay.
+type Stats struct {
+	Events  int64
+	Objects int
+	Queries int
+	Server  core.Stats
+}
+
+// decoder streams events with one-event lookahead.
+type decoder struct {
+	sc   *bufio.Scanner
+	line int
+	peek *Event
+	err  error
+}
+
+func newDecoder(rd io.Reader) *decoder {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	return &decoder{sc: sc}
+}
+
+// next returns the following event, nil at end of stream.
+func (d *decoder) next() *Event {
+	if d.err != nil {
+		return nil
+	}
+	if d.peek != nil {
+		e := d.peek
+		d.peek = nil
+		return e
+	}
+	for d.sc.Scan() {
+		d.line++
+		if len(d.sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(d.sc.Bytes(), &e); err != nil {
+			d.err = fmt.Errorf("trace: line %d: %w", d.line, err)
+			return nil
+		}
+		return &e
+	}
+	if err := d.sc.Err(); err != nil {
+		d.err = err
+	}
+	return nil
+}
+
+func (d *decoder) unread(e *Event) { d.peek = e }
+
+// apply dispatches one operation event onto the monitor.
+func apply(mon *core.Monitor, e *Event, line int) error {
+	mon.SetTime(e.T)
+	var err error
+	switch e.Op {
+	case OpAdd:
+		mon.AddObject(e.Obj, geom.Pt(e.X, e.Y))
+	case OpUpdate:
+		mon.Update(e.Obj, geom.Pt(e.X, e.Y))
+	case OpRemove:
+		mon.RemoveObject(e.Obj)
+	case OpRange:
+		_, _, err = mon.RegisterRange(query.ID(e.QID), geom.Rect{MinX: e.MinX, MinY: e.MinY, MaxX: e.MaxX, MaxY: e.MaxY})
+	case OpCount:
+		_, _, err = mon.RegisterCount(query.ID(e.QID), geom.Rect{MinX: e.MinX, MinY: e.MinY, MaxX: e.MaxX, MaxY: e.MaxY})
+	case OpKNN:
+		_, _, err = mon.RegisterKNN(query.ID(e.QID), geom.Pt(e.X, e.Y), e.K, e.Ordered)
+	case OpCircle:
+		_, _, err = mon.RegisterWithinDistance(query.ID(e.QID), geom.Pt(e.X, e.Y), e.Radius)
+	case OpDeregister:
+		mon.Deregister(query.ID(e.QID))
+	default:
+		return fmt.Errorf("trace: line %d: unknown op %q", line, e.Op)
+	}
+	if err != nil {
+		return fmt.Errorf("trace: line %d: %w", line, err)
+	}
+	return nil
+}
+
+// Replay streams events from rd into mon in order, advancing the monitor's
+// clock to each event's timestamp. Probe events (if present in the trace)
+// are skipped: the caller's prober answers probes instead. For bit-exact
+// reproduction of a recorded run use ReplayExact.
+func Replay(rd io.Reader, mon *core.Monitor) (Stats, error) {
+	var st Stats
+	d := newDecoder(rd)
+	for {
+		e := d.next()
+		if e == nil {
+			break
+		}
+		if e.Op == OpProbe {
+			continue
+		}
+		if err := apply(mon, e, d.line); err != nil {
+			return st, err
+		}
+		st.Events++
+	}
+	if d.err != nil {
+		return st, d.err
+	}
+	st.Objects = mon.NumObjects()
+	st.Queries = mon.NumQueries()
+	st.Server = mon.Stats()
+	return st, nil
+}
+
+// ReplayExact reconstructs a monitor from a trace recorded with a wrapped
+// prober (Recorder.WrapProber): probes issued during replay are answered with
+// the positions the live run observed, reproducing the run exactly. The
+// monitor is constructed with opt and returned.
+func ReplayExact(rd io.Reader, opt core.Options) (*core.Monitor, Stats, error) {
+	var st Stats
+	d := newDecoder(rd)
+	var probeErr error
+	prober := core.ProberFunc(func(id uint64) geom.Point {
+		e := d.next()
+		if e == nil || e.Op != OpProbe {
+			if probeErr == nil {
+				probeErr = fmt.Errorf("trace: line %d: monitor probed %d but the trace has no probe event here", d.line, id)
+			}
+			if e != nil {
+				d.unread(e)
+			}
+			return geom.Point{}
+		}
+		if e.Obj != id {
+			if probeErr == nil {
+				probeErr = fmt.Errorf("trace: line %d: probe order diverged (trace has %d, monitor asked %d)", d.line, e.Obj, id)
+			}
+			return geom.Point{}
+		}
+		return geom.Pt(e.X, e.Y)
+	})
+	mon := core.New(opt, prober, nil)
+	for {
+		e := d.next()
+		if e == nil {
+			break
+		}
+		if e.Op == OpProbe {
+			return mon, st, fmt.Errorf("trace: line %d: probe event outside any operation", d.line)
+		}
+		if err := apply(mon, e, d.line); err != nil {
+			return mon, st, err
+		}
+		if probeErr != nil {
+			return mon, st, probeErr
+		}
+		st.Events++
+	}
+	if d.err != nil {
+		return mon, st, d.err
+	}
+	st.Objects = mon.NumObjects()
+	st.Queries = mon.NumQueries()
+	st.Server = mon.Stats()
+	return mon, st, nil
+}

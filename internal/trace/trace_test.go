@@ -1,0 +1,243 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"srb/internal/core"
+	"srb/internal/geom"
+	"srb/internal/query"
+)
+
+func newMon(pos map[uint64]geom.Point) *core.Monitor {
+	return core.New(core.Options{GridM: 8}, core.ProberFunc(func(id uint64) geom.Point {
+		return pos[id]
+	}), nil)
+}
+
+// record drives a protocol-faithful random workload against a live monitor
+// whose prober is wrapped by the recorder, returning the trace and the live
+// monitor for comparison.
+func record(t *testing.T, seed int64, buf *bytes.Buffer) (*core.Monitor, *Recorder, map[uint64]geom.Point) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pos := map[uint64]geom.Point{}
+	rec := NewRecorder(buf)
+	live := core.New(core.Options{GridM: 8},
+		rec.WrapProber(core.ProberFunc(func(id uint64) geom.Point { return pos[id] })), nil)
+
+	regions := map[uint64]geom.Rect{}
+	apply := func(ups []core.SafeRegionUpdate) {
+		for _, u := range ups {
+			regions[u.Object] = u.Region
+		}
+	}
+
+	tm := 0.0
+	for i := uint64(0); i < 80; i++ {
+		pos[i] = geom.Pt(rng.Float64(), rng.Float64())
+		if err := rec.Add(tm, i, pos[i]); err != nil {
+			t.Fatal(err)
+		}
+		live.SetTime(tm)
+		apply(live.AddObject(i, pos[i]))
+	}
+	// Register one query of each supported kind; the op event is written
+	// before the call so probe events nest after it.
+	_ = rec.RegisterRange(tm, 1, geom.R(0.2, 0.2, 0.5, 0.5))
+	if _, ups, err := live.RegisterRange(1, geom.R(0.2, 0.2, 0.5, 0.5)); err == nil {
+		apply(ups)
+	}
+	knnPt := geom.Pt(rng.Float64(), rng.Float64())
+	_ = rec.RegisterKNN(tm, 2, knnPt, 3, true)
+	if _, ups, err := live.RegisterKNN(2, knnPt, 3, true); err == nil {
+		apply(ups)
+	}
+	_ = rec.RegisterCount(tm, 3, geom.R(0.6, 0.6, 0.9, 0.9))
+	if _, ups, err := live.RegisterCount(3, geom.R(0.6, 0.6, 0.9, 0.9)); err == nil {
+		apply(ups)
+	}
+	cPt := geom.Pt(rng.Float64(), rng.Float64())
+	_ = rec.RegisterWithinDistance(tm, 4, cPt, 0.12)
+	if _, ups, err := live.RegisterWithinDistance(4, cPt, 0.12); err == nil {
+		apply(ups)
+	}
+	insPt := geom.Pt(rng.Float64(), rng.Float64())
+	_ = rec.RegisterKNN(tm, 5, insPt, 2, false)
+	if _, ups, err := live.RegisterKNN(5, insPt, 2, false); err == nil {
+		apply(ups)
+	}
+
+	for step := 0; step < 400; step++ {
+		tm = float64(step) * 0.01
+		id := uint64(rng.Intn(80))
+		p := pos[id]
+		np := geom.Pt(clampf(p.X+(rng.Float64()-0.5)*0.05), clampf(p.Y+(rng.Float64()-0.5)*0.05))
+		pos[id] = np
+		if !regions[id].Contains(np) {
+			if err := rec.Update(tm, id, np); err != nil {
+				t.Fatal(err)
+			}
+			live.SetTime(tm)
+			apply(live.Update(id, np))
+		}
+	}
+	_ = rec.Remove(tm, 79)
+	live.SetTime(tm)
+	live.RemoveObject(79)
+	delete(pos, 79)
+	_ = rec.Deregister(tm, 5)
+	live.Deregister(5)
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return live, rec, pos
+}
+
+// TestExactReplayReproducesRun replays a recorded trace (including probe
+// answers) and requires bit-identical query state.
+func TestExactReplayReproducesRun(t *testing.T) {
+	var buf bytes.Buffer
+	live, rec, _ := record(t, 7, &buf)
+	if rec.Events() == 0 {
+		t.Fatal("nothing recorded")
+	}
+
+	replayMon, st, err := ReplayExact(bytes.NewReader(buf.Bytes()), core.Options{GridM: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Objects != live.NumObjects() || st.Queries != live.NumQueries() {
+		t.Fatalf("population mismatch: %+v", st)
+	}
+	for _, qid := range []query.ID{1, 2, 3, 4} {
+		a, _ := live.Results(qid)
+		b, _ := replayMon.Results(qid)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %v vs %v", qid, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d results diverge: %v vs %v", qid, a, b)
+			}
+		}
+		qa, _ := live.Query(qid)
+		qb, _ := replayMon.Query(qid)
+		if qa.QRadius != qb.QRadius {
+			t.Fatalf("query %d radius diverged: %v vs %v", qid, qa.QRadius, qb.QRadius)
+		}
+	}
+	// Safe regions must match exactly too.
+	for id := uint64(0); id < 79; id++ {
+		ra, okA := live.SafeRegion(id)
+		rb, okB := replayMon.SafeRegion(id)
+		if okA != okB || ra != rb {
+			t.Fatalf("object %d region diverged: %v vs %v", id, ra, rb)
+		}
+	}
+	// Server work counters line up (same probes, same reevaluations).
+	sa, sb := live.Stats(), replayMon.Stats()
+	if sa.Probes != sb.Probes || sa.Reevaluations != sb.Reevaluations || sa.SourceUpdates != sb.SourceUpdates {
+		t.Fatalf("stats diverged: %+v vs %+v", sa, sb)
+	}
+}
+
+// TestLooseReplayIsValidRun replays without probe scripting: the run may
+// differ from the live one (probes observe last-reported positions) but must
+// still be a self-consistent monitor.
+func TestLooseReplayIsValidRun(t *testing.T) {
+	var buf bytes.Buffer
+	record(t, 11, &buf)
+	pos := map[uint64]geom.Point{}
+	mon := core.New(core.Options{GridM: 8}, core.ProberFunc(func(id uint64) geom.Point {
+		return pos[id]
+	}), nil)
+	// Maintain last-reported positions for the prober by pre-scanning.
+	d := newDecoder(bytes.NewReader(buf.Bytes()))
+	var filtered bytes.Buffer
+	rec2 := NewRecorder(&filtered)
+	for {
+		e := d.next()
+		if e == nil {
+			break
+		}
+		if e.Op == OpProbe {
+			continue
+		}
+		_ = rec2.emit(*e)
+	}
+	_ = rec2.Flush()
+	// Use a side table fed by add/update events for probing.
+	d2 := newDecoder(bytes.NewReader(filtered.Bytes()))
+	for {
+		e := d2.next()
+		if e == nil {
+			break
+		}
+		if e.Op == OpAdd || e.Op == OpUpdate {
+			pos[e.Obj] = geom.Pt(e.X, e.Y)
+		}
+		if err := apply(mon, e, d2.line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mon.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if mon.NumQueries() == 0 || mon.NumObjects() == 0 {
+		t.Fatal("replay produced empty state")
+	}
+}
+
+func clampf(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func TestReplayRejectsGarbage(t *testing.T) {
+	mon := newMon(map[uint64]geom.Point{})
+	if _, err := Replay(strings.NewReader("{bad json\n"), mon); err == nil {
+		t.Fatal("garbage must fail")
+	}
+	if _, err := Replay(strings.NewReader(`{"t":0,"op":"warp"}`+"\n"), mon); err == nil {
+		t.Fatal("unknown op must fail")
+	}
+}
+
+func TestReplayEmpty(t *testing.T) {
+	mon := newMon(map[uint64]geom.Point{})
+	st, err := Replay(strings.NewReader(""), mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Events != 0 || st.Objects != 0 {
+		t.Fatalf("empty replay: %+v", st)
+	}
+}
+
+func TestReplayExactRejectsStrayProbe(t *testing.T) {
+	in := `{"t":0,"op":"probe","obj":1,"x":0.5,"y":0.5}` + "\n"
+	if _, _, err := ReplayExact(strings.NewReader(in), core.Options{}); err == nil {
+		t.Fatal("top-level probe event must fail")
+	}
+}
+
+func TestReplaySkipsProbeEvents(t *testing.T) {
+	in := `{"t":0,"op":"add","obj":1,"x":0.5,"y":0.5}` + "\n" +
+		`{"t":0,"op":"probe","obj":1,"x":0.5,"y":0.5}` + "\n"
+	mon := newMon(map[uint64]geom.Point{1: geom.Pt(0.5, 0.5)})
+	st, err := Replay(strings.NewReader(in), mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Events != 1 || st.Objects != 1 {
+		t.Fatalf("replay: %+v", st)
+	}
+}

@@ -1,0 +1,150 @@
+// Package viz renders a monitor's spatial state — object positions, safe
+// regions, range rectangles and kNN quarantine circles — as a standalone SVG
+// document. Invaluable for debugging safe-region geometry and for
+// documentation.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"srb/internal/core"
+	"srb/internal/geom"
+	"srb/internal/query"
+)
+
+// Options controls the rendering.
+type Options struct {
+	// Size is the SVG edge length in pixels (default 800).
+	Size int
+	// Space is the world rectangle mapped onto the canvas (default unit
+	// square).
+	Space geom.Rect
+	// ShowSafeRegions toggles drawing each object's safe region.
+	ShowSafeRegions bool
+	// ShowQuarantines toggles drawing query quarantine areas.
+	ShowQuarantines bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Size <= 0 {
+		o.Size = 800
+	}
+	if !o.Space.IsValid() || o.Space.Area() == 0 {
+		o.Space = geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	}
+	return o
+}
+
+// Snapshot captures the drawable state of a monitor.
+type Snapshot struct {
+	Objects []ObjectState
+	Queries []QueryState
+}
+
+// ObjectState is one object's position and safe region.
+type ObjectState struct {
+	ID     uint64
+	Pos    geom.Point
+	Region geom.Rect
+}
+
+// QueryState is one query's parameters and quarantine area.
+type QueryState struct {
+	ID      query.ID
+	Kind    query.Kind
+	Rect    geom.Rect   // range rectangle (range/count queries)
+	Circle  geom.Circle // quarantine circle (kNN queries)
+	Point   geom.Point  // kNN anchor
+	Results []uint64
+}
+
+// Capture extracts a Snapshot from a monitor given the set of object IDs and
+// query IDs to include. Object positions are the server's last reported
+// locations.
+func Capture(mon *core.Monitor, objects []uint64, queries []query.ID) Snapshot {
+	var snap Snapshot
+	ids := append([]uint64(nil), objects...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		pos, ok := mon.LastReported(id)
+		if !ok {
+			continue
+		}
+		region, _ := mon.SafeRegion(id)
+		snap.Objects = append(snap.Objects, ObjectState{ID: id, Pos: pos, Region: region})
+	}
+	qids := append([]query.ID(nil), queries...)
+	sort.Slice(qids, func(i, j int) bool { return qids[i] < qids[j] })
+	for _, qid := range qids {
+		q, ok := mon.Query(qid)
+		if !ok {
+			continue
+		}
+		qs := QueryState{ID: q.ID, Kind: q.Kind, Results: append([]uint64(nil), q.Results...)}
+		if q.Kind == query.KindRange {
+			qs.Rect = q.Rect
+		} else {
+			qs.Circle = q.QuarantineCircle()
+			qs.Point = q.Point
+		}
+		snap.Queries = append(snap.Queries, qs)
+	}
+	return snap
+}
+
+// Render writes the snapshot as an SVG document.
+func Render(w io.Writer, snap Snapshot, opt Options) error {
+	opt = opt.withDefaults()
+	sz := float64(opt.Size)
+	sx := func(x float64) float64 { return (x - opt.Space.MinX) / opt.Space.Width() * sz }
+	// SVG's y axis grows downward; flip so the world reads naturally.
+	sy := func(y float64) float64 { return sz - (y-opt.Space.MinY)/opt.Space.Height()*sz }
+
+	var err error
+	p := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format+"\n", args...)
+		}
+	}
+	p(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		opt.Size, opt.Size, opt.Size, opt.Size)
+	p(`<rect width="%d" height="%d" fill="#fcfcf7"/>`, opt.Size, opt.Size)
+
+	drawRect := func(r geom.Rect, stroke, fill string, width float64, opacity float64) {
+		x, y := sx(r.MinX), sy(r.MaxY)
+		p(`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" stroke="%s" fill="%s" stroke-width="%.2f" fill-opacity="%.2f"/>`,
+			x, y, r.Width()/opt.Space.Width()*sz, r.Height()/opt.Space.Height()*sz, stroke, fill, width, opacity)
+	}
+
+	if opt.ShowQuarantines {
+		for _, q := range snap.Queries {
+			if q.Kind == query.KindRange {
+				drawRect(q.Rect, "#b33", "#e88", 1.5, 0.18)
+			} else {
+				p(`<circle cx="%.2f" cy="%.2f" r="%.2f" stroke="#36c" fill="#8be" stroke-width="1.5" fill-opacity="0.15"/>`,
+					sx(q.Circle.Center.X), sy(q.Circle.Center.Y), q.Circle.R/opt.Space.Width()*sz)
+				p(`<circle cx="%.2f" cy="%.2f" r="3" fill="#36c"/>`, sx(q.Point.X), sy(q.Point.Y))
+			}
+		}
+	}
+	resultOf := map[uint64]bool{}
+	for _, q := range snap.Queries {
+		for _, id := range q.Results {
+			resultOf[id] = true
+		}
+	}
+	for _, o := range snap.Objects {
+		if opt.ShowSafeRegions && o.Region.IsValid() {
+			drawRect(o.Region, "#7a7", "none", 0.8, 0)
+		}
+		color := "#444"
+		if resultOf[o.ID] {
+			color = "#d60"
+		}
+		p(`<circle cx="%.2f" cy="%.2f" r="2.5" fill="%s"/>`, sx(o.Pos.X), sy(o.Pos.Y), color)
+	}
+	p(`</svg>`)
+	return err
+}

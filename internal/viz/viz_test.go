@@ -1,0 +1,78 @@
+package viz
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"srb/internal/core"
+	"srb/internal/geom"
+	"srb/internal/query"
+)
+
+func buildMonitor(t *testing.T) (*core.Monitor, []uint64, []query.ID) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	pos := map[uint64]geom.Point{}
+	mon := core.New(core.Options{GridM: 8}, core.ProberFunc(func(id uint64) geom.Point {
+		return pos[id]
+	}), nil)
+	var ids []uint64
+	for i := uint64(0); i < 30; i++ {
+		pos[i] = geom.Pt(rng.Float64(), rng.Float64())
+		mon.AddObject(i, pos[i])
+		ids = append(ids, i)
+	}
+	if _, _, err := mon.RegisterRange(1, geom.R(0.2, 0.2, 0.4, 0.4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mon.RegisterKNN(2, geom.Pt(0.6, 0.6), 3, true); err != nil {
+		t.Fatal(err)
+	}
+	return mon, ids, []query.ID{1, 2}
+}
+
+func TestCaptureAndRender(t *testing.T) {
+	mon, ids, qids := buildMonitor(t)
+	snap := Capture(mon, ids, qids)
+	if len(snap.Objects) != 30 {
+		t.Fatalf("objects = %d", len(snap.Objects))
+	}
+	if len(snap.Queries) != 2 {
+		t.Fatalf("queries = %d", len(snap.Queries))
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, snap, Options{ShowSafeRegions: true, ShowQuarantines: true}); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	// One circle for the quarantine, one for the anchor, plus 30 objects.
+	if got := strings.Count(svg, "<circle"); got < 32 {
+		t.Fatalf("too few circles: %d", got)
+	}
+	if got := strings.Count(svg, "<rect"); got < 30 {
+		t.Fatalf("expected background + query rect + safe regions, got %d rects", got)
+	}
+}
+
+func TestCaptureSkipsUnknown(t *testing.T) {
+	mon, _, _ := buildMonitor(t)
+	snap := Capture(mon, []uint64{9999}, []query.ID{777})
+	if len(snap.Objects) != 0 || len(snap.Queries) != 0 {
+		t.Fatalf("unknown ids must be skipped: %+v", snap)
+	}
+}
+
+func TestRenderDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, Snapshot{}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `width="800"`) {
+		t.Fatal("default size missing")
+	}
+}

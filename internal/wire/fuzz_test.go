@@ -1,0 +1,24 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzRecv ensures arbitrary bytes never panic the codec: every input either
+// yields a message or an error.
+func FuzzRecv(f *testing.F) {
+	f.Add([]byte(`{"t":"update","obj":1,"x":0.5,"y":0.5}` + "\n"))
+	f.Add([]byte(`{"t":"region","minx":0,"maxx":1}` + "\n"))
+	f.Add([]byte("not json at all\n"))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewCodec(pipeRW{bytes.NewReader(data), io.Discard})
+		for i := 0; i < 64; i++ {
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,136 @@
+// Package wire defines the line-delimited JSON protocol spoken between the
+// monitoring server, mobile clients, and application servers (the
+// architecture of Figure 1.1 in the paper). Each frame is one JSON object
+// terminated by '\n'.
+//
+// The paper's prototype used SOAP/HTTP on IIS; this implementation
+// substitutes a minimal TCP protocol with the same message flow:
+// source-initiated updates, server-initiated probes, safe-region grants, and
+// query registration with continuous result pushes.
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"srb/internal/geom"
+)
+
+// Message types.
+const (
+	// Client → server.
+	THello      = "hello"       // object joins at (X, Y)
+	TUpdate     = "update"      // source-initiated location update
+	TProbeReply = "probe_reply" // answer to a probe, echoing Seq
+	TBye        = "bye"         // object leaves
+
+	// Server → client.
+	TRegion = "region" // new safe region grant
+	TProbe  = "probe"  // server-initiated location request
+
+	// Application server → server.
+	TRegisterRange  = "register_range"
+	TRegisterKNN    = "register_knn"
+	TRegisterCount  = "register_count"
+	TRegisterCircle = "register_circle"
+	TDeregister     = "deregister"
+
+	// Server → application server.
+	TResults = "results" // initial or updated query results
+	TError   = "error"
+)
+
+// Message is the single frame type of the protocol; unused fields are
+// omitted on the wire where possible.
+type Message struct {
+	Type string `json:"t"`
+
+	// Object identity and position.
+	Obj uint64  `json:"obj,omitempty"`
+	X   float64 `json:"x,omitempty"`
+	Y   float64 `json:"y,omitempty"`
+
+	// Safe region grant.
+	MinX float64 `json:"minx,omitempty"`
+	MinY float64 `json:"miny,omitempty"`
+	MaxX float64 `json:"maxx,omitempty"`
+	MaxY float64 `json:"maxy,omitempty"`
+
+	// Query registration and results.
+	QID     uint64   `json:"qid,omitempty"`
+	K       int      `json:"k,omitempty"`
+	Ordered bool     `json:"ord,omitempty"`
+	IDs     []uint64 `json:"ids,omitempty"`
+	Count   int      `json:"count,omitempty"`
+
+	// Radius of a within-distance (circle) query.
+	Radius float64 `json:"radius,omitempty"`
+
+	// Probe sequencing and errors.
+	Seq uint64 `json:"seq,omitempty"`
+	Err string `json:"err,omitempty"`
+}
+
+// Point returns the (X, Y) payload.
+func (m Message) Point() geom.Point { return geom.Pt(m.X, m.Y) }
+
+// Rect returns the safe-region payload.
+func (m Message) Rect() geom.Rect {
+	return geom.Rect{MinX: m.MinX, MinY: m.MinY, MaxX: m.MaxX, MaxY: m.MaxY}
+}
+
+// SetPoint fills the position payload.
+func (m *Message) SetPoint(p geom.Point) {
+	m.X, m.Y = p.X, p.Y
+}
+
+// SetRect fills the safe-region payload.
+func (m *Message) SetRect(r geom.Rect) {
+	m.MinX, m.MinY, m.MaxX, m.MaxY = r.MinX, r.MinY, r.MaxX, r.MaxY
+}
+
+// Codec frames Messages over a stream. Writes and reads are independently
+// usable from different goroutines, but each side must have a single user.
+type Codec struct {
+	r *bufio.Scanner
+	w *bufio.Writer
+}
+
+// NewCodec wraps a connection.
+func NewCodec(rw io.ReadWriter) *Codec {
+	sc := bufio.NewScanner(rw)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	return &Codec{r: sc, w: bufio.NewWriter(rw)}
+}
+
+// Send writes one frame.
+func (c *Codec) Send(m Message) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if _, err := c.w.Write(b); err != nil {
+		return err
+	}
+	if err := c.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Recv reads one frame, returning io.EOF at end of stream.
+func (c *Codec) Recv() (Message, error) {
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return Message{}, err
+		}
+		return Message{}, io.EOF
+	}
+	var m Message
+	if err := json.Unmarshal(c.r.Bytes(), &m); err != nil {
+		return Message{}, fmt.Errorf("wire: unmarshal %q: %w", c.r.Bytes(), err)
+	}
+	return m, nil
+}

@@ -1,0 +1,84 @@
+// Package srb is a production-oriented implementation of the safe-region
+// monitoring framework of Hu, Xu & Lee, "A Generic Framework for Monitoring
+// Continuous Spatial Queries over Moving Objects" (SIGMOD 2005).
+//
+// The framework continuously monitors range and k-nearest-neighbor queries
+// over a population of moving objects while minimizing wireless
+// communication: the server grants every object a rectangular safe region,
+// and the object reports its location only when it leaves that region. The
+// server maintains an R*-tree over safe regions and a grid index over query
+// quarantine areas, evaluates queries directly on safe regions with lazy
+// probes, and recomputes maximal safe regions on every update.
+//
+// # Quick start
+//
+//	mon := srb.NewMonitor(srb.Options{}, srb.ProberFunc(gps.Locate), nil)
+//	mon.AddObject(42, srb.Pt(0.3, 0.7))
+//	results, _, _ := mon.RegisterKNN(1, srb.Pt(0.5, 0.5), 3, true)
+//
+// Every call that may refresh safe regions returns the refreshed regions;
+// deliver them to the corresponding clients, which in turn call Update only
+// when they exit their region.
+//
+// See the examples directory for complete applications, internal/sim for the
+// discrete event simulator reproducing the paper's evaluation, and DESIGN.md
+// for the system inventory and paper errata.
+package srb
+
+import (
+	"srb/internal/core"
+	"srb/internal/geom"
+	"srb/internal/query"
+)
+
+// Point is a location in the monitored space.
+type Point = geom.Point
+
+// Rect is an axis-aligned rectangle: safe regions, range-query rectangles and
+// quarantine bounding boxes.
+type Rect = geom.Rect
+
+// Circle is a disk, used for kNN quarantine areas.
+type Circle = geom.Circle
+
+// Pt constructs a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// R constructs a Rect from two corners, normalizing their order.
+func R(x1, y1, x2, y2 float64) Rect { return geom.R(x1, y1, x2, y2) }
+
+// QueryID identifies a registered continuous query.
+type QueryID = query.ID
+
+// Monitor is the database server of the framework. It is not safe for
+// concurrent use: the framework assumes location updates are processed
+// sequentially (Section 3 of the paper); wrap calls in a mutex or a single
+// goroutine for concurrent clients (package remote does the latter).
+type Monitor = core.Monitor
+
+// Options configures a Monitor: monitored space, grid resolution M, and the
+// Section 6 enhancements (maximum speed, steady movement).
+type Options = core.Options
+
+// Stats exposes the server's work counters (updates, probes, reevaluations,
+// safe-region computations).
+type Stats = core.Stats
+
+// Prober supplies exact object locations for server-initiated probes.
+type Prober = core.Prober
+
+// ProberFunc adapts a plain function to the Prober interface.
+type ProberFunc = core.ProberFunc
+
+// ResultUpdate reports a changed query result to the application server.
+type ResultUpdate = core.ResultUpdate
+
+// SafeRegionUpdate carries a refreshed safe region that must be delivered to
+// its mobile client.
+type SafeRegionUpdate = core.SafeRegionUpdate
+
+// NewMonitor creates a monitoring server. prober must not be nil; onUpdate
+// (may be nil) receives every result change pushed to application servers.
+func NewMonitor(opt Options, prober Prober, onUpdate func(ResultUpdate)) *Monitor {
+	return core.New(opt, prober, onUpdate)
+}
