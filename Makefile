@@ -1,0 +1,43 @@
+# Correctness gate for the safe-region monitoring framework.
+# `make check` is what CI runs; every target also works standalone.
+
+GO ?= go
+
+.PHONY: check build vet fmt lint test race debug fuzz-smoke
+
+check: build vet fmt lint test race debug fuzz-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Project-specific static analysis (internal/analysis): floatcmp, lockreentry,
+# sliceescape, bareGoroutine. Fails on any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/srb-lint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Self-checking build: every mutating Monitor operation asserts the full
+# invariant suite (srbdebug build tag).
+debug:
+	$(GO) test -tags srbdebug ./internal/core/
+
+# Short fuzz runs of the geometry and R*-tree oracles; enough to catch
+# regressions in the constructions without holding up the gate.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzIrlpCircle$$ -fuzztime=10s ./internal/geom/
+	$(GO) test -fuzz=FuzzIrlpCircleComplement -fuzztime=10s ./internal/geom/
+	$(GO) test -fuzz=FuzzTreeOps -fuzztime=10s ./internal/rtree/

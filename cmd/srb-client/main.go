@@ -73,7 +73,9 @@ func main() {
 		fmt.Printf("kNN query %d: initial results %v\n", qid, res)
 	}
 
+	drained := make(chan struct{})
 	go func() {
+		defer close(drained)
 		for u := range app.Updates() {
 			if *verbose {
 				fmt.Printf("query %d -> %v\n", u.Query, u.Results)
@@ -92,6 +94,9 @@ func main() {
 			c.Tick(walkers[i].At(t))
 		}
 	}
+
+	_ = app.Close() // closes Updates(), letting the drain goroutine finish
+	<-drained
 
 	var updates, probes int64
 	for _, c := range clients {

@@ -1,0 +1,92 @@
+// Command srb-lint runs the project-specific static-analysis suite of
+// internal/analysis over the module: floatcmp (exact float comparison),
+// lockreentry (mutex re-entry and prober callbacks), sliceescape (internal
+// slices escaping without a copy) and bareGoroutine (untracked goroutines in
+// cmd/ and internal/remote).
+//
+// Usage:
+//
+//	srb-lint [flags] [packages]
+//
+// Packages default to ./... relative to the current directory. The exit code
+// is 1 when any unsuppressed finding is reported, 2 on operational errors.
+// Findings are suppressed with a trailing or preceding comment:
+//
+//	//lint:allow floatcmp  <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"srb/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		checks   = flag.String("checks", "", "comma-separated analyzer names (default: all)")
+		tests    = flag.Bool("tests", false, "also analyze _test.go files and external test packages")
+		showSupp = flag.Bool("show-suppressed", false, "print suppressed findings too")
+		verbose  = flag.Bool("v", false, "print each analyzed package")
+	)
+	flag.Parse()
+
+	analyzers, err := analysis.ByName(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "srb-lint:", err)
+		return 2
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "srb-lint:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "srb-lint:", err)
+		return 2
+	}
+	loader.IncludeTests = *tests
+	paths, err := loader.Expand(cwd, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "srb-lint:", err)
+		return 2
+	}
+
+	unsuppressed, suppressed := 0, 0
+	for _, path := range paths {
+		pkgs, err := loader.LoadForAnalysis(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "srb-lint:", err)
+			return 2
+		}
+		for _, pkg := range pkgs {
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "srb-lint: analyzing %s (%d files)\n", pkg.Types.Path(), len(pkg.Files))
+			}
+			for _, d := range analysis.RunPackage(pkg, analyzers) {
+				if d.Suppressed {
+					suppressed++
+					if *showSupp {
+						fmt.Printf("%s (suppressed)\n", d)
+					}
+					continue
+				}
+				unsuppressed++
+				fmt.Println(d)
+			}
+		}
+	}
+	if *verbose || unsuppressed > 0 {
+		fmt.Fprintf(os.Stderr, "srb-lint: %d finding(s), %d suppressed\n", unsuppressed, suppressed)
+	}
+	if unsuppressed > 0 {
+		return 1
+	}
+	return 0
+}

@@ -43,6 +43,11 @@ func main() {
 		s.Addr(), *gridM, *maxSpeed, *steadiness)
 	if *admin != "" {
 		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					log.Printf("admin server panicked: %v", r)
+				}
+			}()
 			fmt.Printf("admin endpoint on http://%s/stats\n", *admin)
 			if err := http.ListenAndServe(*admin, s.AdminHandler()); err != nil {
 				log.Printf("admin server: %v", err)
@@ -51,6 +56,11 @@ func main() {
 	}
 
 	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				log.Printf("signal handler panicked: %v", r)
+			}
+		}()
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt)
 		<-ch

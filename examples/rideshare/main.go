@@ -105,6 +105,7 @@ func brute3NN(pos map[uint64]srb.Point, q srb.Point) []uint64 {
 		all = append(all, nd{id, p.Dist(q)})
 	}
 	sort.Slice(all, func(i, j int) bool {
+		//lint:allow floatcmp comparator tie-break: exact inequality guards the ID fallback
 		if all[i].d != all[j].d {
 			return all[i].d < all[j].d
 		}

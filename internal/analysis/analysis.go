@@ -1,0 +1,189 @@
+// Package analysis is a self-contained static-analysis framework for this
+// repository, built only on the standard library's go/ast, go/parser and
+// go/types packages (the repo is deliberately zero-dependency). It mirrors a
+// small slice of golang.org/x/tools/go/analysis: an Analyzer inspects one
+// type-checked package at a time and reports Diagnostics, and the driver
+// (cmd/srb-lint) applies suppression comments before printing.
+//
+// The analyzers themselves encode project-specific correctness rules of the
+// safe-region monitoring framework: exact float comparison (floatcmp), mutex
+// re-entry and prober callbacks (lockreentry), escaping internal slices
+// (sliceescape), and untracked goroutines (bareGoroutine). See the individual
+// files for the rules.
+//
+// # Suppressions
+//
+// A finding is suppressed by a comment of the form
+//
+//	//lint:allow <name>[,<name>...] [reason]
+//
+// placed either on the same line as the offending expression or on the line
+// directly above it. Suppressed findings are counted but do not fail the run.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding reported by an analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	// Suppressed marks findings covered by a //lint:allow comment.
+	Suppressed bool
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// PkgPath is the import path of the package under analysis (for package
+	// main it is the directory-derived path, not "main").
+	PkgPath string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one static check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{FloatCmp, LockReentry, SliceEscape, BareGoroutine}
+}
+
+// ByName resolves a comma-separated analyzer list; empty selects all.
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	index := make(map[string]*Analyzer)
+	for _, a := range All() {
+		index[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := index[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// RunPackage applies the analyzers to one loaded package and returns the
+// findings with suppressions resolved, sorted by position.
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			PkgPath:  pkg.Path,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	applySuppressions(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// applySuppressions marks findings covered by //lint:allow comments. The
+// comment suppresses matching analyzers on its own line and on the line
+// immediately below it (so both trailing and preceding placements work).
+func applySuppressions(pkg *Package, diags []Diagnostic) {
+	type key struct {
+		file string
+		line int
+	}
+	allowed := make(map[key]map[string]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					k := key{pos.Filename, line}
+					if allowed[k] == nil {
+						allowed[k] = make(map[string]bool)
+					}
+					for _, n := range names {
+						allowed[k][n] = true
+					}
+				}
+			}
+		}
+	}
+	for i := range diags {
+		set := allowed[key{diags[i].Pos.Filename, diags[i].Pos.Line}]
+		if set != nil && (set[diags[i].Analyzer] || set["all"]) {
+			diags[i].Suppressed = true
+		}
+	}
+}
+
+// parseAllow extracts the analyzer names from a //lint:allow comment.
+func parseAllow(text string) ([]string, bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "lint:allow") {
+		return nil, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
+	if rest == "" {
+		return nil, false
+	}
+	list := strings.Fields(rest)[0]
+	names := strings.Split(list, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	return names, true
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// BareGoroutine applies to the long-running process surfaces — packages under
+// cmd/ and internal/remote — where a goroutine that dies silently (panic) or
+// outlives shutdown (no lifecycle tracking) turns into an operational
+// incident. Every `go` statement there must either
+//
+//   - defer a recover (directly, or through a same-package helper whose body
+//     recovers), or
+//   - defer a WaitGroup Done, or
+//   - defer a close(ch) of a done-channel (both lifecycle-tracking idioms of
+//     the server and client runtimes),
+//
+// in the goroutine's body. Goroutines whose body is out of package view are
+// flagged too: wrap them in a tracked closure.
+var BareGoroutine = &Analyzer{
+	Name: "bareGoroutine",
+	Doc:  "flags go statements in cmd/ and internal/remote without panic recovery or lifecycle tracking",
+	Run:  runBareGoroutine,
+}
+
+func runBareGoroutine(pass *Pass) {
+	if !strings.Contains(pass.PkgPath, "/cmd/") && !strings.HasSuffix(pass.PkgPath, "/internal/remote") {
+		return
+	}
+	decls := funcDecls(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goroutineBody(pass, decls, gs.Call)
+			if body == nil {
+				pass.Reportf(gs.Pos(), "goroutine body is outside the package and cannot be verified; wrap it in a closure with panic recovery or lifecycle tracking")
+				return true
+			}
+			if !hasGuardDefer(pass, decls, body) {
+				pass.Reportf(gs.Pos(), "goroutine has neither panic recovery (defer func(){ recover() }()) nor lifecycle tracking (defer wg.Done()); a panic here kills the process silently and shutdown cannot wait for it")
+			}
+			return true
+		})
+	}
+}
+
+// goroutineBody resolves the body of the function started by a go statement.
+func goroutineBody(pass *Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	default:
+		if fn := calleeFunc(pass.Info, call); fn != nil {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// hasGuardDefer reports whether any top-level defer of the body is a
+// recognized guard: a closure containing recover(), a same-package function
+// whose body recovers, or a WaitGroup Done.
+func hasGuardDefer(pass *Pass, decls map[*types.Func]*ast.FuncDecl, body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		ds, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		if isWaitGroupDone(pass, ds.Call) || isChanClose(pass, ds.Call) {
+			return true
+		}
+		switch fun := ast.Unparen(ds.Call.Fun).(type) {
+		case *ast.FuncLit:
+			if containsRecover(pass.Info, fun.Body) {
+				return true
+			}
+		default:
+			if fn := calleeFunc(pass.Info, ds.Call); fn != nil {
+				if fd := decls[fn]; fd != nil && fd.Body != nil && containsRecover(pass.Info, fd.Body) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isChanClose matches defer close(ch): closing a done-channel on exit is the
+// lifecycle signal Close() methods wait on.
+func isChanClose(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return false
+	}
+	_, isChan := pass.Info.TypeOf(call.Args[0]).Underlying().(*types.Chan)
+	return isChan
+}
+
+// isWaitGroupDone matches defer x.Done() / x.wg.Done() where the receiver is
+// a sync.WaitGroup.
+func isWaitGroupDone(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	n := namedOf(pass.Info.TypeOf(sel.X))
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "WaitGroup"
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != whose operands are floating-point — including
+// structs and arrays whose comparison reduces to float equality (geom.Point,
+// geom.Rect, geom.Circle) — the root cause of boundary-case bugs in the
+// Prop 5.2/5.5 geometry. Exact comparison against the literal constant 0 is
+// permitted by default: only an exactly-zero divisor or norm produces
+// NaN/Inf, so zero guards are correct as written. Everything else must go
+// through an epsilon helper (geom.Feq, geom.Point.Near) or carry an explicit
+// //lint:allow floatcmp annotation stating why exactness is intended.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags exact ==/!= on floating-point operands (incl. float-field structs) outside zero guards",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			lt := pass.Info.TypeOf(be.X)
+			rt := pass.Info.TypeOf(be.Y)
+			if !isFloaty(lt) && !isFloaty(rt) {
+				return true
+			}
+			if isZeroConst(pass.Info, be.X) || isZeroConst(pass.Info, be.Y) {
+				return true
+			}
+			kind := "float"
+			if !isFloatScalar(lt) && !isFloatScalar(rt) {
+				kind = "float-field struct"
+			}
+			pass.Reportf(be.OpPos, "exact %s comparison (%s); use an epsilon helper such as geom.Feq/Point.Near or annotate deliberate exactness with //lint:allow floatcmp", kind, be.Op)
+			return true
+		})
+	}
+}
+
+func isFloatScalar(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isFloaty reports whether comparing two values of type t performs any
+// floating-point equality: floats themselves, and structs/arrays with a
+// float component anywhere.
+func isFloaty(t types.Type) bool {
+	return isFloatyDepth(t, 0)
+}
+
+func isFloatyDepth(t types.Type, depth int) bool {
+	if t == nil || depth > 10 {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsFloat|types.IsComplex) != 0
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if isFloatyDepth(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return isFloatyDepth(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// isZeroConst reports whether the expression is a compile-time constant equal
+// to exactly zero (the sanctioned divisor/norm guard).
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

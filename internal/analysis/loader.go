@@ -1,0 +1,353 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path ("srb/internal/core")
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader resolves and type-checks packages of this module from source,
+// delegating out-of-module imports (the standard library) to the stdlib
+// source importer. It uses only go/ast, go/parser and go/types plus their
+// support packages — no external tooling.
+type Loader struct {
+	Fset *token.FileSet
+	// IncludeTests adds in-package _test.go files to analyzed packages and
+	// additionally yields external (package foo_test) test packages.
+	IncludeTests bool
+
+	moduleName string
+	moduleDir  string
+	ctx        build.Context
+	std        types.ImporterFrom
+	cache      map[string]*Package
+	loading    map[string]bool
+}
+
+// NewLoader creates a loader rooted at the module containing dir (found by
+// walking up to go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, name, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ctx := build.Default
+	// The source importer type-checks the standard library from GOROOT
+	// source; with cgo disabled the pure-Go fallbacks of net and friends are
+	// selected, keeping the whole pipeline free of C toolchain dependencies.
+	ctx.CgoEnabled = false
+	build.Default.CgoEnabled = false
+	l := &Loader{
+		Fset:       fset,
+		moduleName: name,
+		moduleDir:  root,
+		ctx:        ctx,
+		cache:      make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer unavailable")
+	}
+	l.std = std
+	return l, nil
+}
+
+// ModuleDir returns the module root directory.
+func (l *Loader) ModuleDir() string { return l.moduleDir }
+
+// ModuleName returns the module path from go.mod.
+func (l *Loader) ModuleName() string { return l.moduleName }
+
+func findModule(dir string) (root, name string, err error) {
+	for d := dir; ; {
+		gm := filepath.Join(d, "go.mod")
+		if data, err := os.ReadFile(gm); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if strings.HasPrefix(line, "module ") {
+					return d, strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s has no module line", gm)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Import implements types.Importer for the type-checker: module-local paths
+// are loaded from source, everything else is delegated to the stdlib source
+// importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.moduleDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.inModule(path) {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, 0)
+}
+
+func (l *Loader) inModule(path string) bool {
+	return path == l.moduleName || strings.HasPrefix(path, l.moduleName+"/")
+}
+
+func (l *Loader) dirOf(path string) string {
+	if path == l.moduleName {
+		return l.moduleDir
+	}
+	rel := strings.TrimPrefix(path, l.moduleName+"/")
+	return filepath.Join(l.moduleDir, filepath.FromSlash(rel))
+}
+
+func (l *Loader) pathOf(dir string) (string, error) {
+	rel, err := filepath.Rel(l.moduleDir, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.moduleName, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module %s", dir, l.moduleDir)
+	}
+	return l.moduleName + "/" + filepath.ToSlash(rel), nil
+}
+
+// load type-checks the pure (non-test) package at the import path, memoized.
+func (l *Loader) load(path string) (*Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	pkg, err := l.check(path, false, false)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// LoadForAnalysis returns the packages to analyze at the import path: the
+// primary package (with in-package test files when IncludeTests is set) and,
+// when present and requested, the external _test package.
+func (l *Loader) LoadForAnalysis(path string) ([]*Package, error) {
+	if !l.IncludeTests {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return []*Package{pkg}, nil
+	}
+	var out []*Package
+	pkg, err := l.check(path, true, false)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, pkg)
+	ext, err := l.check(path, true, true)
+	if err != nil {
+		return nil, err
+	}
+	if ext != nil {
+		out = append(out, ext)
+	}
+	return out, nil
+}
+
+// check parses and type-checks one package variant. With external set it
+// builds the package foo_test variant (nil when the directory has none).
+func (l *Loader) check(path string, tests, external bool) (*Package, error) {
+	dir := l.dirOf(path)
+	names, err := l.sourceFiles(dir, tests)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var pkgName string
+	for _, name := range names {
+		file, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		ext := strings.HasSuffix(file.Name.Name, "_test")
+		if ext != external {
+			continue
+		}
+		if pkgName == "" {
+			pkgName = file.Name.Name
+		}
+		if file.Name.Name != pkgName {
+			return nil, fmt.Errorf("analysis: %s: mixed package names %s and %s", dir, pkgName, file.Name.Name)
+		}
+		files = append(files, file)
+	}
+	if len(files) == 0 {
+		if external {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	checkPath := path
+	if external {
+		checkPath = path + "_test"
+	}
+	conf := types.Config{Importer: l, FakeImportC: true}
+	tpkg, err := conf.Check(checkPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", checkPath, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// sourceFiles lists the buildable .go files of dir under the loader's build
+// context, optionally including _test.go files.
+func (l *Loader) sourceFiles(dir string, tests bool) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ok, err := l.ctx.MatchFile(dir, name)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Expand resolves package patterns relative to baseDir into import paths.
+// Supported forms: "./...", "./dir/...", "./dir", "dir", and plain module
+// import paths ("srb/internal/core").
+func (l *Loader) Expand(baseDir string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		if l.inModule(pat) && !strings.Contains(pat, "...") {
+			add(pat)
+			continue
+		}
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		} else if pat == "..." {
+			recursive = true
+			pat = "."
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(baseDir, dir)
+		}
+		if !recursive {
+			p, err := l.pathOf(dir)
+			if err != nil {
+				return nil, err
+			}
+			add(p)
+			continue
+		}
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if path != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(d.Name(), ".go") || strings.HasPrefix(d.Name(), ".") {
+				return nil
+			}
+			if !l.IncludeTests && strings.HasSuffix(d.Name(), "_test.go") {
+				return nil
+			}
+			ok, merr := l.ctx.MatchFile(filepath.Dir(path), d.Name())
+			if merr != nil || !ok {
+				return merr
+			}
+			p, perr := l.pathOf(filepath.Dir(path))
+			if perr != nil {
+				return perr
+			}
+			add(p)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

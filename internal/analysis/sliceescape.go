@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SliceEscape flags the two aliasing mistakes that corrupt multi-index
+// bookkeeping when a caller mutates what it was handed (or handed over):
+//
+//  1. An exported function or method returning an internal mutable slice —
+//     a receiver field, or an element of a receiver field — without copying.
+//     Callers then share the monitor's backing array (e.g. a query's result
+//     list or an R*-tree entry slice) and can corrupt it in place.
+//  2. An exported method storing a caller-provided slice parameter directly
+//     into a receiver field, so later caller-side mutation aliases internal
+//     state.
+//
+// Deliberate ownership transfers and documented read-only returns carry a
+// //lint:allow sliceescape annotation.
+var SliceEscape = &Analyzer{
+	Name: "sliceescape",
+	Doc:  "flags exported functions returning or storing internal mutable slices without a copy",
+	Run:  runSliceEscape,
+}
+
+func runSliceEscape(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isExported(pass, fd) {
+				continue
+			}
+			recv := recvIdent(fd)
+			params := paramObjs(pass, fd)
+			walkShallow(fd.Body, func(n ast.Node) {
+				switch st := n.(type) {
+				case *ast.ReturnStmt:
+					for _, res := range st.Results {
+						checkEscapingReturn(pass, fd, recv, res)
+					}
+				case *ast.AssignStmt:
+					checkAliasingStore(pass, fd, recv, params, st)
+				}
+			})
+		}
+	}
+}
+
+// paramObjs collects the slice-typed parameter objects of a function.
+func paramObjs(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// walkShallow visits the statements of a function body without descending
+// into nested function literals (their returns belong to the closure, not
+// the enclosing function).
+func walkShallow(body ast.Node, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// checkEscapingReturn flags `return recv.field` and `return recv.field[i]`
+// results of slice type.
+func checkEscapingReturn(pass *Pass, fd *ast.FuncDecl, recv *ast.Ident, res ast.Expr) {
+	res = ast.Unparen(res)
+	if _, ok := pass.Info.TypeOf(res).Underlying().(*types.Slice); !ok {
+		return
+	}
+	expr := res
+	depth := 0
+	for {
+		if ix, ok := expr.(*ast.IndexExpr); ok {
+			expr = ast.Unparen(ix.X)
+			depth++
+			continue
+		}
+		break
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if recv == nil || !isIdentNamed(sel.X, recv.Name) {
+		return
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	what := "internal slice"
+	if depth > 0 {
+		what = "element of internal slice field"
+	}
+	pass.Reportf(res.Pos(), "%s returns %s %s.%s without a copy; callers can mutate internal state (append([]T(nil), s...) or annotate with //lint:allow sliceescape)",
+		fd.Name.Name, what, recv.Name, sel.Sel.Name)
+}
+
+// checkAliasingStore flags `recv.field = param` where param is a slice-typed
+// parameter of the function.
+func checkAliasingStore(pass *Pass, fd *ast.FuncDecl, recv *ast.Ident, params map[types.Object]bool, st *ast.AssignStmt) {
+	if recv == nil {
+		return
+	}
+	for i, lhs := range st.Lhs {
+		if i >= len(st.Rhs) {
+			break
+		}
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok || !isIdentNamed(sel.X, recv.Name) {
+			continue
+		}
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			continue
+		}
+		rhs, ok := ast.Unparen(st.Rhs[i]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.Info.Uses[rhs]
+		if obj == nil || !params[obj] {
+			continue
+		}
+		pass.Reportf(st.Pos(), "%s stores caller-provided slice %q into %s.%s without a copy; later caller mutation aliases internal state (copy first or annotate with //lint:allow sliceescape)",
+			fd.Name.Name, rhs.Name, recv.Name, sel.Sel.Name)
+	}
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}

@@ -1,0 +1,6 @@
+//go:build !srbdebug
+
+package core
+
+// debugInvariants is off in normal builds; assertInvariants compiles away.
+const debugInvariants = false

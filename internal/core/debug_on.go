@@ -1,0 +1,9 @@
+//go:build srbdebug
+
+package core
+
+// debugInvariants gates the self-checking build: with the srbdebug build tag
+// every mutating Monitor operation asserts CheckInvariants before returning,
+// turning any state corruption into an immediate panic at the operation that
+// introduced it instead of a wrong answer arbitrarily later.
+const debugInvariants = true

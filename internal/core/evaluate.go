@@ -28,6 +28,7 @@ type evalPQ struct {
 
 func (p *evalPQ) Len() int { return len(p.items) }
 func (p *evalPQ) Less(i, j int) bool {
+	//lint:allow floatcmp comparator tie-break: exact inequality guards the seq fallback
 	if p.items[i].key != p.items[j].key {
 		return p.items[i].key < p.items[j].key
 	}
@@ -75,6 +76,7 @@ func (m *Monitor) RegisterRange(id query.ID, rect geom.Rect) ([]uint64, []SafeRe
 	m.queries[id] = q
 	m.grid.Insert(q)
 	updates := m.refreshProbedAgainst(q)
+	m.assertInvariants()
 	return append([]uint64(nil), results...), updates, nil
 }
 
@@ -92,6 +94,7 @@ func (m *Monitor) RegisterKNN(id query.ID, pt geom.Point, k int, orderSensitive 
 	m.queries[id] = q
 	m.grid.Insert(q)
 	updates := m.refreshProbedAgainst(q)
+	m.assertInvariants()
 	return append([]uint64(nil), q.Results...), updates, nil
 }
 
@@ -112,6 +115,7 @@ func (m *Monitor) RegisterWithinDistance(id query.ID, center geom.Point, radius 
 	m.queries[id] = q
 	m.grid.Insert(q)
 	updates := m.refreshProbedAgainst(q)
+	m.assertInvariants()
 	return append([]uint64(nil), results...), updates, nil
 }
 
@@ -167,6 +171,7 @@ func (m *Monitor) RegisterCount(id query.ID, rect geom.Rect) (int, []SafeRegionU
 	m.queries[id] = q
 	m.grid.Insert(q)
 	updates := m.refreshProbedAgainst(q)
+	m.assertInvariants()
 	return len(results), updates, nil
 }
 
@@ -181,6 +186,7 @@ func (m *Monitor) Deregister(id query.ID) bool {
 	}
 	m.grid.Remove(q)
 	delete(m.queries, id)
+	m.assertInvariants()
 	return true
 }
 
@@ -204,6 +210,7 @@ func (m *Monitor) refreshProbedAgainst(q *query.Query) []SafeRegionUpdate {
 	}
 	out = append(out, m.flushShrunk(nil)...)
 	m.probedNow = make(map[uint64]geom.Point)
+	m.probedFrom = make(map[uint64]geom.Point)
 	return out
 }
 
@@ -277,6 +284,7 @@ const quarantineSplit = 0.5
 // maximum distance and the next element's minimum distance (Section 3.3).
 // With no next element the radius still covers the whole space.
 func (m *Monitor) quarantineRadius(maxK, nextMin float64) float64 {
+	//lint:allow floatcmp noNextElement is an exact sentinel value, never computed
 	if nextMin == noNextElement {
 		return maxK + m.opt.Space.Width() + m.opt.Space.Height()
 	}

@@ -254,7 +254,9 @@ func (m *Monitor) AddObject(id uint64, p geom.Point) []SafeRegionUpdate {
 			m.reevaluate(q, st, infinitePoint())
 		}
 	}
-	return m.finishOp(st)
+	out := m.finishOp(st)
+	m.assertInvariants()
+	return out
 }
 
 // RemoveObject deregisters an object, repairing the results of every query
@@ -284,7 +286,9 @@ func (m *Monitor) RemoveObject(id uint64) []SafeRegionUpdate {
 		}
 	}
 	delete(m.resultOf, id)
-	return m.finishOp(nil)
+	out := m.finishOp(nil)
+	m.assertInvariants()
+	return out
 }
 
 func (m *Monitor) sortedQueryIDs() []query.ID {
@@ -401,6 +405,7 @@ func (m *Monitor) finishOp(st *objectState) []SafeRegionUpdate {
 	}
 	out = append(out, m.flushShrunk(st)...)
 	m.probedNow = make(map[uint64]geom.Point)
+	m.probedFrom = make(map[uint64]geom.Point)
 	return out
 }
 
@@ -579,24 +584,49 @@ func (m *Monitor) setResults(q *query.Query, ids []uint64) {
 	}
 }
 
-// CheckInvariants validates cross-index consistency; intended for tests.
+// CheckInvariants validates cross-index consistency and the deep semantic
+// invariants of the monitoring protocol: the R*-tree mirrors the object
+// table, the grid index mirrors the query table (with the exact current
+// quarantine bboxes), per-operation probe bookkeeping is drained, safe
+// regions contain their object's last location and stay inside the monitored
+// space, fixed-shape queries (range, COUNT, within-distance) satisfy
+// member-containment and non-member interior-disjointness against their
+// quarantine areas, and kNN queries hold exactly min(K, numObjects) results.
+// Every violation names the object/query involved and the condition
+// violated. Intended for tests and the srbdebug build, which asserts it
+// after every mutating operation.
 func (m *Monitor) CheckInvariants() error {
 	if err := m.tree.CheckInvariants(); err != nil {
 		return err
 	}
+	if err := m.grid.CheckInvariants(); err != nil {
+		return err
+	}
 	if m.tree.Len() != len(m.objects) {
 		return fmt.Errorf("tree has %d items, %d objects registered", m.tree.Len(), len(m.objects))
+	}
+	if m.grid.Len() != len(m.queries) {
+		return fmt.Errorf("grid indexes %d queries, %d registered", m.grid.Len(), len(m.queries))
+	}
+	if len(m.probedNow)+len(m.probedFrom)+len(m.shrunkNow) != 0 {
+		return fmt.Errorf("probe bookkeeping not drained between operations: %d probedNow, %d probedFrom, %d shrunkNow",
+			len(m.probedNow), len(m.probedFrom), len(m.shrunkNow))
 	}
 	for id, st := range m.objects {
 		r, ok := m.tree.Get(id)
 		if !ok {
 			return fmt.Errorf("object %d missing from tree", id)
 		}
+		//lint:allow floatcmp identity check: the tree must mirror st.safe bit-for-bit
 		if r != st.safe {
 			return fmt.Errorf("object %d: tree rect %v != safe %v", id, r, st.safe)
 		}
 		if !st.safe.Contains(st.lastLoc) {
 			return fmt.Errorf("object %d: safe region %v excludes last location %v", id, st.safe, st.lastLoc)
+		}
+		if !m.opt.Space.Union(geom.RectAround(st.lastLoc)).ContainsRect(st.safe) {
+			return fmt.Errorf("object %d: safe region %v escapes space %v beyond last location %v",
+				id, st.safe, m.opt.Space, st.lastLoc)
 		}
 	}
 	for id, q := range m.queries {
@@ -604,7 +634,11 @@ func (m *Monitor) CheckInvariants() error {
 			return fmt.Errorf("query map key %d != id %d", id, q.ID)
 		}
 		if len(q.Results) != len(q.InResult) {
-			return fmt.Errorf("query %d: results/membership mismatch", id)
+			return fmt.Errorf("query %d: %d results vs %d membership entries", id, len(q.Results), len(q.InResult))
+		}
+		//lint:allow floatcmp identity check: the grid must index the exact current quarantine bbox
+		if ext := m.grid.ExtentOf(id); ext != q.QuarantineBBox() {
+			return fmt.Errorf("query %d: grid extent %v != quarantine bbox %v", id, ext, q.QuarantineBBox())
 		}
 		for _, r := range q.Results {
 			if _, ok := m.objects[r]; !ok {
@@ -612,6 +646,25 @@ func (m *Monitor) CheckInvariants() error {
 			}
 			if !m.resultOf[r][id] {
 				return fmt.Errorf("reverse index missing query %d for object %d", id, r)
+			}
+		}
+		switch q.Kind {
+		case query.KindKNN:
+			want := q.K
+			if n := len(m.objects); n < want {
+				want = n
+			}
+			if len(q.Results) != want {
+				return fmt.Errorf("kNN query %d: %d results, want min(K=%d, %d objects) = %d",
+					id, len(q.Results), q.K, len(m.objects), want)
+			}
+		case query.KindRange:
+			if err := m.checkRangeContainment(q); err != nil {
+				return err
+			}
+		case query.KindCircle:
+			if err := m.checkCircleContainment(q); err != nil {
+				return err
 			}
 		}
 	}
@@ -628,4 +681,59 @@ func (m *Monitor) CheckInvariants() error {
 		}
 	}
 	return nil
+}
+
+// checkRangeContainment verifies the fixed-rectangle quarantine invariant
+// (Section 3.3): while every result object's safe region lies inside the
+// rectangle and every non-result object's safe region avoids its interior,
+// the result cannot change without a client report. kNN quarantine circles
+// grow and shrink between reevaluations, so the analogous property is
+// deliberately not an invariant there.
+func (m *Monitor) checkRangeContainment(q *query.Query) error {
+	outer := q.Rect.Expand(geom.Epsilon)
+	for id, st := range m.objects {
+		if q.InResult[id] {
+			if !outer.ContainsRect(st.safe) {
+				return fmt.Errorf("range query %d: member %d safe region %v escapes quarantine rect %v",
+					q.ID, id, st.safe, q.Rect)
+			}
+		} else {
+			inter := st.safe.Intersect(q.Rect)
+			if inter.IsValid() && inter.Width() > geom.Epsilon && inter.Height() > geom.Epsilon {
+				return fmt.Errorf("range query %d: non-member %d safe region %v overlaps quarantine rect %v interior",
+					q.ID, id, st.safe, q.Rect)
+			}
+		}
+	}
+	return nil
+}
+
+// checkCircleContainment is the circular-quarantine counterpart for
+// within-distance queries: members inside the circle, non-members outside.
+func (m *Monitor) checkCircleContainment(q *query.Query) error {
+	c := q.Circle()
+	for id, st := range m.objects {
+		if q.InResult[id] {
+			if st.safe.MaxDist(c.Center) > c.R+geom.Epsilon {
+				return fmt.Errorf("circle query %d: member %d safe region %v escapes quarantine circle r=%g",
+					q.ID, id, st.safe, c.R)
+			}
+		} else if st.safe.MinDist(c.Center) < c.R-geom.Epsilon {
+			return fmt.Errorf("circle query %d: non-member %d safe region %v intrudes into quarantine circle r=%g",
+				q.ID, id, st.safe, c.R)
+		}
+	}
+	return nil
+}
+
+// assertInvariants panics on an invariant violation. Under the default build
+// it compiles to nothing; the srbdebug build tag turns it on, making every
+// mutating Monitor operation self-checking.
+func (m *Monitor) assertInvariants() {
+	if !debugInvariants {
+		return
+	}
+	if err := m.CheckInvariants(); err != nil {
+		panic("srbdebug: invariant violated: " + err.Error())
+	}
 }

@@ -55,7 +55,9 @@ func (m *Monitor) Update(id uint64, p geom.Point) []SafeRegionUpdate {
 			}
 		}
 	}
-	return m.finishOp(st)
+	out := m.finishOp(st)
+	m.assertInvariants()
+	return out
 }
 
 // reevaluate incrementally repairs one affected query after st moved from

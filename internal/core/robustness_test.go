@@ -45,10 +45,8 @@ func TestChaoticUpdatesNeverCorruptState(t *testing.T) {
 		}
 		mon.SetTime(float64(step) * 0.001)
 		mon.Update(id, reported)
-		if step%500 == 0 {
-			if err := mon.CheckInvariants(); err != nil {
-				t.Fatalf("step %d: %v", step, err)
-			}
+		if err := mon.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
 		}
 	}
 	if err := mon.CheckInvariants(); err != nil {

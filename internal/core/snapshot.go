@@ -112,6 +112,7 @@ func (m *Monitor) LoadSnapshot(r io.Reader) error {
 		m.setResults(q, qs.Results)
 		m.grid.Insert(q)
 	}
+	m.assertInvariants()
 	return nil
 }
 

@@ -155,6 +155,7 @@ func addCell(ix *Index, i, j int, q geom.Point, k int, best *[]Neighbor, exclude
 func insertNeighbor(best *[]Neighbor, n Neighbor, k int) {
 	b := *best
 	pos := sort.Search(len(b), func(i int) bool {
+		//lint:allow floatcmp comparator tie-break: exact inequality guards the ID fallback
 		if b[i].Dist != n.Dist {
 			return b[i].Dist > n.Dist
 		}

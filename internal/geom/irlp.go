@@ -311,6 +311,7 @@ func IrlpRectComplement(q Rect, p Point, cell Rect, obj Objective) Rect {
 }
 
 func objReflected(obj Objective, rf reflection) Objective {
+	//lint:allow floatcmp sx/sy are exact ±1 reflection sentinels, never computed
 	if rf.sx == 1 && rf.sy == 1 {
 		return obj
 	}

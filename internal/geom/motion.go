@@ -44,6 +44,7 @@ func SegmentRectEnter(r Rect, p Point, v Point) (float64, bool) {
 	} {
 		pos, vel := axis[0], axis[1]
 		lo, hi := r.MinX, r.MaxX
+		//lint:allow floatcmp axis id is an exact 0/1 sentinel, never computed
 		if axis[2] == 1 {
 			lo, hi = r.MinY, r.MaxY
 		}

@@ -39,8 +39,24 @@ func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
 // Scale returns p scaled by s, viewed as a vector.
 func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
 
-// Eq reports exact coordinate equality.
+// Eq reports exact coordinate equality. It is the sanctioned exactness
+// primitive: identity checks (cache invalidation, change detection) go
+// through here so that intent is visible at the call site.
+//
+//lint:allow floatcmp Eq is the exact-equality primitive itself
 func (p Point) Eq(q Point) bool { return p.X == q.X && p.Y == q.Y }
+
+// Epsilon is the default tolerance for approximate float comparison. It is
+// sized for coordinates in the unit square scaled by typical space extents
+// (up to ~1e4): large enough to absorb one rounding step of the Prop 5.2-5.6
+// arithmetic, small enough not to mask real geometric differences.
+const Epsilon = 1e-9
+
+// Feq reports approximate equality of two floats within Epsilon.
+func Feq(a, b float64) bool { return math.Abs(a-b) <= Epsilon }
+
+// Near reports approximate coordinate equality within Epsilon per axis.
+func (p Point) Near(q Point) bool { return Feq(p.X, q.X) && Feq(p.Y, q.Y) }
 
 // Lerp returns the point a + t*(b-a).
 func Lerp(a, b Point, t float64) Point {

@@ -7,6 +7,7 @@
 package gridindex
 
 import (
+	"fmt"
 	"sort"
 
 	"srb/internal/geom"
@@ -103,6 +104,7 @@ func (g *Grid) Remove(q *query.Query) bool {
 
 // Update re-indexes q after its quarantine area changed.
 func (g *Grid) Update(q *query.Query) {
+	//lint:allow floatcmp cache-invalidation identity: any bit change must re-index
 	if bb, ok := g.extent[q.ID]; ok && bb == q.QuarantineBBox() {
 		return
 	}
@@ -114,6 +116,7 @@ func (g *Grid) Update(q *query.Query) {
 // sorted by query ID and must not be modified.
 func (g *Grid) At(p geom.Point) []*query.Query {
 	i, j := g.CellOf(p)
+	//lint:allow sliceescape documented read-only view; copying per probe would dominate the hot path
 	return g.cells[j*g.m+i]
 }
 
@@ -235,4 +238,46 @@ func clampIdx(i, m int) int {
 // under; diagnostic helper.
 func (g *Grid) ExtentOf(id query.ID) geom.Rect {
 	return g.extent[id]
+}
+
+// CheckInvariants validates the internal consistency of the index: the size
+// counter matches the extent table, every bucket is strictly sorted by query
+// ID and references only indexed queries, and every query appears in exactly
+// the buckets of the cells its recorded extent overlaps. Intended for tests
+// and the srbdebug build.
+func (g *Grid) CheckInvariants() error {
+	if g.size != len(g.extent) {
+		return fmt.Errorf("grid: size counter %d != %d recorded extents", g.size, len(g.extent))
+	}
+	counts := make(map[query.ID]int)
+	for idx, b := range g.cells {
+		for k, q := range b {
+			if k > 0 && b[k-1].ID >= q.ID {
+				return fmt.Errorf("grid: cell %d bucket not strictly sorted: ids %d, %d adjacent", idx, b[k-1].ID, q.ID)
+			}
+			if _, ok := g.extent[q.ID]; !ok {
+				return fmt.Errorf("grid: cell %d holds query %d with no recorded extent", idx, q.ID)
+			}
+			counts[q.ID]++
+		}
+	}
+	for id, bb := range g.extent {
+		want := 0
+		present := true
+		g.forEachCell(bb, func(c *bucket) {
+			want++
+			b := *c
+			i := sort.Search(len(b), func(i int) bool { return b[i].ID >= id })
+			if i >= len(b) || b[i].ID != id {
+				present = false
+			}
+		})
+		if !present {
+			return fmt.Errorf("grid: query %d missing from a cell its extent %v overlaps", id, bb)
+		}
+		if counts[id] != want {
+			return fmt.Errorf("grid: query %d appears in %d buckets, extent %v overlaps %d cells", id, counts[id], bb, want)
+		}
+	}
+	return nil
 }

@@ -147,6 +147,7 @@ func (q *Query) Affected(pLst, p geom.Point) bool {
 
 // SetResults replaces the result list and membership index.
 func (q *Query) SetResults(ids []uint64) {
+	//lint:allow sliceescape ownership transfer: callers hand over ids and must not reuse it
 	q.Results = ids
 	q.InResult = make(map[uint64]bool, len(ids))
 	for _, id := range ids {

@@ -1,0 +1,73 @@
+package rtree
+
+import (
+	"testing"
+
+	"srb/internal/geom"
+)
+
+// FuzzTreeOps drives the R*-tree through an arbitrary insert/update/delete
+// stream decoded from the fuzz input, with CheckInvariants as the oracle
+// after every mutation and a shadow map as the oracle for final contents.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte{0, 1, 10, 20, 30, 1, 1, 0, 0, 0, 2, 2, 200, 100, 5})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := NewWithCapacity(4)
+		ref := make(map[uint64]geom.Rect)
+		steps := 0
+		for len(data) >= 5 && steps < 256 {
+			op, id := data[0]%3, uint64(data[1]%32)
+			x := float64(data[2]) / 255
+			y := float64(data[3]) / 255
+			w := float64(data[4]) / 255 * 0.2
+			r := geom.R(x, y, x+w, y+w)
+			switch op {
+			case 0, 2: // Insert doubles as Update for a present id
+				tr.Insert(id, r)
+				ref[id] = r
+			case 1:
+				wantPresent := false
+				if _, ok := ref[id]; ok {
+					wantPresent = true
+					delete(ref, id)
+				}
+				if got := tr.Delete(id); got != wantPresent {
+					t.Fatalf("Delete(%d) = %v, shadow map says %v", id, got, wantPresent)
+				}
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after step %d (op %d id %d rect %v): %v", steps, op, id, r, err)
+			}
+			data = data[5:]
+			steps++
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("tree has %d items, shadow map %d", tr.Len(), len(ref))
+		}
+		for id, want := range ref {
+			got, ok := tr.Get(id)
+			//lint:allow floatcmp identity: the tree must return the exact stored rect
+			if !ok || got != want {
+				t.Fatalf("Get(%d) = %v, %v; want %v, true", id, got, ok, want)
+			}
+		}
+		// Search over the whole space must surface every stored item once.
+		seen := make(map[uint64]int)
+		tr.Search(geom.R(-1, -1, 2, 2), func(it Item) bool {
+			seen[it.ID]++
+			return true
+		})
+		if len(seen) != len(ref) {
+			t.Fatalf("full-space search found %d ids, want %d", len(seen), len(ref))
+		}
+		for id, n := range seen {
+			if n != 1 {
+				t.Fatalf("full-space search returned id %d %d times", id, n)
+			}
+			if _, ok := ref[id]; !ok {
+				t.Fatalf("full-space search returned unknown id %d", id)
+			}
+		}
+	})
+}

@@ -307,7 +307,9 @@ func (t *Tree) pickChild(n *Node, r geom.Rect) int {
 			}
 		}
 		if overlap < bestOverlap ||
+			//lint:allow floatcmp R*-tree tie-break chain: exact equality selects the next criterion
 			(overlap == bestOverlap && enlarge < bestEnlarge) ||
+			//lint:allow floatcmp R*-tree tie-break chain: exact equality selects the next criterion
 			(overlap == bestOverlap && enlarge == bestEnlarge && area < bestArea) {
 			best, bestOverlap, bestEnlarge, bestArea = i, overlap, enlarge, area
 		}
@@ -391,6 +393,7 @@ func (t *Tree) split(n *Node, reinserted map[int]bool) {
 			ov = inter.Area()
 		}
 		area := l.Area() + r.Area()
+		//lint:allow floatcmp split tie-break: exact equality selects the area criterion
 		if ov < bestOverlap || (ov == bestOverlap && area < bestArea) {
 			bestK, bestOverlap, bestArea = k, ov, area
 		}
@@ -489,6 +492,7 @@ func collectItems(n *Node, out *[]Item) {
 func sortByAxis(es []entry, axis int) {
 	if axis == 0 {
 		sort.Slice(es, func(i, j int) bool {
+			//lint:allow floatcmp comparator tie-break: exact inequality guards the MaxX fallback
 			if es[i].rect.MinX != es[j].rect.MinX {
 				return es[i].rect.MinX < es[j].rect.MinX
 			}
@@ -496,6 +500,7 @@ func sortByAxis(es []entry, axis int) {
 		})
 	} else {
 		sort.Slice(es, func(i, j int) bool {
+			//lint:allow floatcmp comparator tie-break: exact inequality guards the MaxY fallback
 			if es[i].rect.MinY != es[j].rect.MinY {
 				return es[i].rect.MinY < es[j].rect.MinY
 			}

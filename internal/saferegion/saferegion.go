@@ -261,6 +261,7 @@ func buildStaircase(obstacles []geom.Rect, p geom.Point, s [2]float64, cw, ch fl
 	for i < len(cs) {
 		ax := cs[i].ax
 		emit(ax, minAy)
+		//lint:allow floatcmp staircase grouping: corners at the same x are exact copies of one coordinate
 		for i < len(cs) && cs[i].ax == ax {
 			minAy = minf(minAy, cs[i].ay)
 			i++

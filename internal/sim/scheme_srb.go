@@ -34,6 +34,7 @@ type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//lint:allow floatcmp comparator tie-break: exact inequality guards the seq fallback
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
