@@ -19,8 +19,10 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Project-specific static analysis (internal/analysis): floatcmp, lockreentry,
-# sliceescape, bareGoroutine. Fails on any unsuppressed finding.
+# Project-specific static analysis (internal/analysis): the syntactic checks
+# (floatcmp, lockreentry, sliceescape, bareGoroutine) plus the flow-sensitive
+# v2 suite (lockorder, errdrop, ctxdeadline, distunits). Fails on any
+# unsuppressed finding.
 lint:
 	$(GO) run ./cmd/srb-lint ./...
 
@@ -35,9 +37,10 @@ race:
 debug:
 	$(GO) test -tags srbdebug ./internal/core/
 
-# Short fuzz runs of the geometry and R*-tree oracles; enough to catch
-# regressions in the constructions without holding up the gate.
+# Short fuzz runs of the geometry and R*-tree oracles plus the lint CFG
+# builder; enough to catch regressions without holding up the gate.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzIrlpCircle$$ -fuzztime=10s ./internal/geom/
 	$(GO) test -fuzz=FuzzIrlpCircleComplement -fuzztime=10s ./internal/geom/
 	$(GO) test -fuzz=FuzzTreeOps -fuzztime=10s ./internal/rtree/
+	$(GO) test -fuzz=FuzzCFG -fuzztime=10s ./internal/analysis/

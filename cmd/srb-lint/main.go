@@ -1,21 +1,32 @@
 // Command srb-lint runs the project-specific static-analysis suite of
 // internal/analysis over the module: floatcmp (exact float comparison),
 // lockreentry (mutex re-entry and prober callbacks), sliceescape (internal
-// slices escaping without a copy) and bareGoroutine (untracked goroutines in
-// cmd/ and internal/remote).
+// slices escaping without a copy), bareGoroutine (untracked goroutines in
+// cmd/ and internal/remote), and the flow-sensitive v2 checks built on the
+// CFG/dataflow engine: lockorder (cross-package lock-acquisition-order
+// cycles), errdrop (error values lost along some path), ctxdeadline
+// (blocking wire operations reachable without a deadline) and distunits
+// (distance vs squared-distance mixing).
 //
 // Usage:
 //
 //	srb-lint [flags] [packages]
 //
-// Packages default to ./... relative to the current directory. The exit code
-// is 1 when any unsuppressed finding is reported, 2 on operational errors.
-// Findings are suppressed with a trailing or preceding comment:
+// Packages default to ./... relative to the current directory. All requested
+// packages are loaded before any analyzer runs, so module-scope checks
+// (lockorder) see the whole lock graph in one pass. The exit code is 1 when
+// any unsuppressed finding is reported, 2 on operational errors. Findings are
+// suppressed with a trailing or preceding comment:
 //
 //	//lint:allow floatcmp  <reason>
+//
+// With -json each finding is printed as one JSON object per line
+// ({file, line, col, check, message, suppressed}) on stdout; human-readable
+// counters stay on stderr and the exit codes are unchanged.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,11 +38,22 @@ func main() {
 	os.Exit(run())
 }
 
+// jsonFinding is the stable -json record shape.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Check      string `json:"check"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func run() int {
 	var (
 		checks   = flag.String("checks", "", "comma-separated analyzer names (default: all)")
 		tests    = flag.Bool("tests", false, "also analyze _test.go files and external test packages")
 		showSupp = flag.Bool("show-suppressed", false, "print suppressed findings too")
+		jsonOut  = flag.Bool("json", false, "print findings as JSON, one object per line")
 		verbose  = flag.Bool("v", false, "print each analyzed package")
 	)
 	flag.Parse()
@@ -58,7 +80,8 @@ func run() int {
 		return 2
 	}
 
-	unsuppressed, suppressed := 0, 0
+	// Load everything first: module-scope analyzers need the whole set.
+	var all []*analysis.Package
 	for _, path := range paths {
 		pkgs, err := loader.LoadForAnalysis(path)
 		if err != nil {
@@ -69,17 +92,39 @@ func run() int {
 			if *verbose {
 				fmt.Fprintf(os.Stderr, "srb-lint: analyzing %s (%d files)\n", pkg.Types.Path(), len(pkg.Files))
 			}
-			for _, d := range analysis.RunPackage(pkg, analyzers) {
-				if d.Suppressed {
-					suppressed++
-					if *showSupp {
-						fmt.Printf("%s (suppressed)\n", d)
-					}
-					continue
-				}
-				unsuppressed++
-				fmt.Println(d)
+			all = append(all, pkg)
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	unsuppressed, suppressed := 0, 0
+	for _, d := range analysis.Run(all, analyzers) {
+		if d.Suppressed {
+			suppressed++
+		} else {
+			unsuppressed++
+		}
+		if d.Suppressed && !*showSupp && !*jsonOut {
+			continue
+		}
+		if *jsonOut {
+			if err := enc.Encode(jsonFinding{
+				File:       d.Pos.Filename,
+				Line:       d.Pos.Line,
+				Col:        d.Pos.Column,
+				Check:      d.Analyzer,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "srb-lint:", err)
+				return 2
 			}
+			continue
+		}
+		if d.Suppressed {
+			fmt.Printf("%s (suppressed)\n", d)
+		} else {
+			fmt.Println(d)
 		}
 	}
 	if *verbose || unsuppressed > 0 {

@@ -61,6 +61,8 @@ func recordWorkload(path string, n, w int, duration float64, seed int64, gridM i
 	if err != nil {
 		return err
 	}
+	// Backstop for early returns; the success path checks the explicit Close
+	// below so a short write surfaces instead of truncating the trace.
 	defer f.Close()
 	rec := trace.NewRecorder(f)
 
@@ -93,27 +95,35 @@ func recordWorkload(path string, n, w int, duration float64, seed int64, gridM i
 		case 0:
 			x, y := rng.Float64()*0.8, rng.Float64()*0.8
 			r := geom.R(x, y, x+0.1, y+0.1)
-			_ = rec.RegisterRange(0, qid, r)
+			if err := rec.RegisterRange(0, qid, r); err != nil {
+				return err
+			}
 			if _, ups, err := mon.RegisterRange(qid, r); err == nil {
 				apply(ups)
 			}
 		case 1:
 			pt := geom.Pt(rng.Float64(), rng.Float64())
 			k := 1 + rng.Intn(5)
-			_ = rec.RegisterKNN(0, qid, pt, k, true)
+			if err := rec.RegisterKNN(0, qid, pt, k, true); err != nil {
+				return err
+			}
 			if _, ups, err := mon.RegisterKNN(qid, pt, k, true); err == nil {
 				apply(ups)
 			}
 		case 2:
 			pt := geom.Pt(rng.Float64(), rng.Float64())
-			_ = rec.RegisterWithinDistance(0, qid, pt, 0.1)
+			if err := rec.RegisterWithinDistance(0, qid, pt, 0.1); err != nil {
+				return err
+			}
 			if _, ups, err := mon.RegisterWithinDistance(qid, pt, 0.1); err == nil {
 				apply(ups)
 			}
 		default:
 			x, y := rng.Float64()*0.8, rng.Float64()*0.8
 			r := geom.R(x, y, x+0.15, y+0.15)
-			_ = rec.RegisterCount(0, qid, r)
+			if err := rec.RegisterCount(0, qid, r); err != nil {
+				return err
+			}
 			if _, ups, err := mon.RegisterCount(qid, r); err == nil {
 				apply(ups)
 			}
@@ -125,13 +135,18 @@ func recordWorkload(path string, n, w int, duration float64, seed int64, gridM i
 			np := walkers[i].At(t)
 			pos[id] = np
 			if !regions[id].Contains(np) {
-				_ = rec.Update(t, id, np)
+				if err := rec.Update(t, id, np); err != nil {
+					return err
+				}
 				mon.SetTime(t)
 				apply(mon.Update(id, np))
 			}
 		}
 	}
 	if err := rec.Flush(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
 		return err
 	}
 	st := mon.Stats()

@@ -65,7 +65,9 @@ func main() {
 		signal.Notify(ch, os.Interrupt)
 		<-ch
 		fmt.Println("shutting down")
-		_ = s.Close()
+		if err := s.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
 	}()
 	if err := s.Serve(); err != nil {
 		log.Printf("server stopped: %v", err)

@@ -1,15 +1,22 @@
 // Package analysis is a self-contained static-analysis framework for this
 // repository, built only on the standard library's go/ast, go/parser and
 // go/types packages (the repo is deliberately zero-dependency). It mirrors a
-// small slice of golang.org/x/tools/go/analysis: an Analyzer inspects one
-// type-checked package at a time and reports Diagnostics, and the driver
-// (cmd/srb-lint) applies suppression comments before printing.
+// small slice of golang.org/x/tools/go/analysis: an Analyzer inspects
+// type-checked packages — one at a time (Run) or the whole module at once
+// (RunModule, for cross-package properties like the lock-order graph) — and
+// reports Diagnostics, and the driver (cmd/srb-lint) applies suppression
+// comments before printing.
 //
 // The analyzers themselves encode project-specific correctness rules of the
-// safe-region monitoring framework: exact float comparison (floatcmp), mutex
-// re-entry and prober callbacks (lockreentry), escaping internal slices
-// (sliceescape), and untracked goroutines (bareGoroutine). See the individual
-// files for the rules.
+// safe-region monitoring framework. The syntactic checks: exact float
+// comparison (floatcmp), mutex re-entry and prober callbacks (lockreentry),
+// escaping internal slices (sliceescape), and untracked goroutines
+// (bareGoroutine). The flow-sensitive checks, built on the CFG/dataflow
+// engine in cfg.go and dataflow.go: lock-acquisition-order cycles
+// (lockorder), dropped error values (errdrop), blocking network operations
+// without a deadline (ctxdeadline), and distance vs squared-distance unit
+// mixing (distunits). See the individual files for the rules and DESIGN.md §8
+// for the engine.
 //
 // # Suppressions
 //
@@ -66,16 +73,36 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
-// Analyzer is one static check.
+// Analyzer is one static check. Exactly one of Run (per-package) and
+// RunModule (whole-module, e.g. the cross-package lock-order graph) is set.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
+}
+
+// ModulePass carries every analyzed package through a module-scope analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos, resolved against pkg's file set.
+func (p *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{FloatCmp, LockReentry, SliceEscape, BareGoroutine}
+	return []*Analyzer{FloatCmp, LockReentry, SliceEscape, BareGoroutine,
+		LockOrder, ErrDrop, CtxDeadline, DistUnits}
 }
 
 // ByName resolves a comma-separated analyzer list; empty selects all.
@@ -100,22 +127,43 @@ func ByName(names string) ([]*Analyzer, error) {
 }
 
 // RunPackage applies the analyzers to one loaded package and returns the
-// findings with suppressions resolved, sorted by position.
+// findings with suppressions resolved, sorted by position. Module-scope
+// analyzers in the list see a one-package module.
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return Run([]*Package{pkg}, analyzers)
+}
+
+// Run applies the analyzers to the loaded packages: per-package analyzers to
+// each package in turn, module-scope analyzers once over the whole set. The
+// findings come back with suppressions resolved, sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			PkgPath:  pkg.Path,
-			diags:    &diags,
+		if a.Run == nil {
+			continue
 		}
-		a.Run(pass)
+		for _, pkg := range pkgs {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				PkgPath:  pkg.Path,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
 	}
-	applySuppressions(pkg, diags)
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		a.RunModule(&ModulePass{Analyzer: a, Pkgs: pkgs, diags: &diags})
+	}
+	for _, pkg := range pkgs {
+		applySuppressions(pkg, diags)
+	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -15,6 +16,10 @@ import (
 // import path, using the source importer for any stdlib imports.
 func loadSource(t *testing.T, pkgpath, src string) *Package {
 	t.Helper()
+	// The source importer typechecks stdlib dependencies from source; cgo
+	// files in them (net, os/user) cannot be handled, so force the netgo-style
+	// pure-Go view regardless of whether NewLoader ran first.
+	build.Default.CgoEnabled = false
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments|parser.SkipObjectResolution)
 	if err != nil {

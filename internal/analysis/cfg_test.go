@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses a function body from source and returns it.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "body.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// reachable returns the set of blocks reachable from the entry.
+func reachable(cfg *CFG) map[*Block]bool {
+	seen := map[*Block]bool{cfg.Entry: true}
+	work := []*Block{cfg.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+func TestCFGLinear(t *testing.T) {
+	cfg := NewCFG(parseBody(t, "x := 1\nx++\n_ = x"))
+	if len(cfg.Entry.Nodes) != 3 {
+		t.Errorf("entry has %d nodes, want 3", len(cfg.Entry.Nodes))
+	}
+	if len(cfg.Entry.Succs) != 1 || cfg.Entry.Succs[0] != cfg.Exit {
+		t.Errorf("entry succs = %v, want just exit", cfg.Entry)
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	cfg := NewCFG(parseBody(t, "x := 1\nif x > 0 {\n\tx = 2\n} else {\n\tx = 3\n}\n_ = x"))
+	// Entry holds the assignment and the hoisted condition, then branches to
+	// both arms; both arms reach the join, which reaches exit.
+	if len(cfg.Entry.Nodes) != 2 {
+		t.Errorf("entry has %d nodes, want assign+condition", len(cfg.Entry.Nodes))
+	}
+	if len(cfg.Entry.Succs) != 2 {
+		t.Fatalf("entry succs = %d, want 2 (then, else)", len(cfg.Entry.Succs))
+	}
+	if !reachable(cfg)[cfg.Exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	cfg := NewCFG(parseBody(t, "for i := 0; i < 3; i++ {\n\tprintln(i)\n}"))
+	// The head must have a back-edge path: head -> body -> post -> head.
+	var head *Block
+	for _, b := range cfg.Blocks {
+		if b.Kind == "for.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no for.head block")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("for.head succs = %d, want 2 (done, body)", len(head.Succs))
+	}
+	// Walking body->post must come back to head.
+	seen := map[*Block]bool{}
+	cur := head.Succs[1] // body (done edge is added first for conditioned loops)
+	for i := 0; i < 5 && cur != nil && !seen[cur]; i++ {
+		seen[cur] = true
+		if cur == head {
+			return
+		}
+		if len(cur.Succs) == 0 {
+			break
+		}
+		cur = cur.Succs[0]
+	}
+	if cur != head {
+		t.Error("no back edge from loop body to head")
+	}
+}
+
+func TestCFGTerminalCall(t *testing.T) {
+	cfg := NewCFG(parseBody(t, "x := 1\nif x > 0 {\n\tpanic(\"boom\")\n}\n_ = x"))
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok && isTerminalCall(call) {
+				if len(b.Succs) != 0 {
+					t.Errorf("panic block %v has successors %v, want none", b, b.Succs)
+				}
+			}
+		}
+	}
+}
+
+func TestCFGDeadCodeKept(t *testing.T) {
+	cfg := NewCFG(parseBody(t, "return\nprintln(\"dead\")"))
+	checkPartition(t, parseBody(t, "return\nprintln(\"dead\")"))
+	r := reachable(cfg)
+	dead := 0
+	for _, b := range cfg.Blocks {
+		if !r[b] && len(b.Nodes) > 0 {
+			dead++
+		}
+	}
+	if dead == 0 {
+		t.Error("statement after return should land in an unreachable block, not vanish")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	body := parseBody(t, `
+	ch := make(chan int)
+	select {
+	case v := <-ch:
+		println(v)
+	case ch <- 1:
+	default:
+		println("none")
+	}`)
+	cfg := NewCFG(body)
+	cases := 0
+	for _, b := range cfg.Blocks {
+		if b.Kind == "select.case" {
+			cases++
+		}
+	}
+	if cases != 3 {
+		t.Errorf("select produced %d case blocks, want 3", cases)
+	}
+	checkPartition(t, body)
+}
+
+func TestCFGPartitionTrickyShapes(t *testing.T) {
+	bodies := []string{
+		// labeled loops with targeted break/continue
+		"outer:\nfor i := 0; i < 3; i++ {\n\tfor {\n\t\tif i > 1 {\n\t\t\tbreak outer\n\t\t}\n\t\tcontinue outer\n\t}\n}",
+		// goto, forward and backward
+		"i := 0\nagain:\ni++\nif i < 3 {\n\tgoto again\n}\ngoto done\ni--\ndone:\nprintln(i)",
+		// switch with fallthrough and default
+		"switch x := 2; x {\ncase 1:\n\tprintln(1)\n\tfallthrough\ncase 2:\n\tprintln(2)\ndefault:\n\tprintln(0)\n}",
+		// type switch
+		"var v interface{} = 1\nswitch v.(type) {\ncase int:\n\tprintln(\"int\")\ncase string:\n\tprintln(\"string\")\n}",
+		// range with closure inside (closure body excluded from outer CFG)
+		"xs := []int{1, 2}\nfor _, x := range xs {\n\tf := func() int { return x * 2 }\n\t_ = f()\n}",
+		// defer and go
+		"defer println(\"bye\")\ngo println(\"hi\")\nprintln(\"mid\")",
+	}
+	for i, b := range bodies {
+		body := parseBody(t, b)
+		checkPartition(t, body)
+		_ = i
+	}
+}
+
+// atomicStmt reports whether s is one of the CFG's atomic statement kinds
+// (each must land in exactly one block).
+func atomicStmt(s ast.Stmt) bool {
+	switch s.(type) {
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.ExprStmt, *ast.IncDecStmt,
+		*ast.SendStmt, *ast.GoStmt, *ast.DeferStmt, *ast.ReturnStmt,
+		*ast.BranchStmt, *ast.EmptyStmt, *ast.RangeStmt:
+		return true
+	}
+	return false
+}
+
+// checkPartition asserts the CFG partition invariant on a body: construction
+// succeeds and every atomic statement outside function literals appears in
+// exactly one block (dead code included).
+func checkPartition(t *testing.T, body *ast.BlockStmt) {
+	t.Helper()
+	cfg := NewCFG(body)
+	count := make(map[ast.Node]int)
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			count[n]++
+		}
+	}
+	for n, c := range count {
+		if c > 1 {
+			t.Errorf("node %T appears in %d blocks, want 1", n, c)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok && atomicStmt(s) {
+			if count[s] != 1 {
+				t.Errorf("atomic statement %T at offset %d appears in %d blocks, want exactly 1",
+					s, s.Pos(), count[s])
+			}
+		}
+		return true
+	})
+}
+
+// FuzzCFG feeds arbitrary parseable function bodies to the CFG builder and
+// asserts the two structural invariants: construction never panics, and every
+// atomic statement lands in exactly one block.
+func FuzzCFG(f *testing.F) {
+	seeds := []string{
+		"x := 1\n_ = x",
+		"for {\n\tbreak\n}",
+		"outer:\nfor i := 0; ; i++ {\n\tswitch i {\n\tcase 0:\n\t\tcontinue outer\n\tcase 1:\n\t\tfallthrough\n\tdefault:\n\t\tbreak outer\n\t}\n}",
+		"goto l\nl:\nreturn",
+		"select {\ncase <-make(chan int):\ndefault:\n}",
+		"defer panic(\"x\")\nreturn\nprintln(\"dead\")",
+		"if true {\n\tos.Exit(1)\n}\nprintln(\"after\")",
+		"xs := map[int]int{}\nfor k, v := range xs {\n\t_ = func() int { return k + v }\n}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		src := "package p\nfunc f() {\n" + body + "\n}"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.SkipObjectResolution)
+		if err != nil {
+			t.Skip()
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("NewCFG panicked: %v\nbody:\n%s", r, body)
+					}
+				}()
+				cfg := NewCFG(fd.Body)
+				count := make(map[ast.Node]int)
+				for _, b := range cfg.Blocks {
+					for _, n := range b.Nodes {
+						count[n]++
+					}
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if _, ok := n.(*ast.FuncLit); ok {
+						return false
+					}
+					if s, ok := n.(ast.Stmt); ok && atomicStmt(s) && count[s] != 1 {
+						t.Fatalf("statement %T in %d blocks, want 1; body:\n%s\ncfg: %v",
+							s, count[s], body, fmt.Sprint(cfg.Blocks))
+					}
+					return true
+				})
+			}()
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxDeadline applies to the long-lived network surfaces — packages under
+// cmd/ and internal/remote — and flags blocking wire operations reachable
+// without any deadline or timeout armed:
+//
+//   - net.Dial has no connect timeout at all and is always flagged (use
+//     net.DialTimeout, or a net.Dialer with Timeout/DialContext);
+//   - a Codec.Recv (the module's blocking frame read) is flagged when, on at
+//     least one path from the function entry to the call, nothing armed a
+//     bound first: no SetDeadline/SetReadDeadline/SetWriteDeadline on the
+//     connection, no timer construction (time.After/NewTimer/AfterFunc/Tick/
+//     NewTicker), no context.WithTimeout/WithDeadline, no net.DialTimeout.
+//
+// The dataflow is a must-analysis: the fact is "a bound has been armed on
+// every path so far", joins take the conjunction, and a Recv in the unarmed
+// state is reported. The analysis is per-function and does not track which
+// connection a deadline was set on (no aliasing; see DESIGN.md §8): any
+// arming event sanctions subsequent blocking calls in the same function.
+// Deliberately unbounded reads — the long-lived per-connection receive loops,
+// whose lifetime is ended by Close tearing the connection down — carry
+// //lint:allow ctxdeadline annotations stating exactly that.
+var CtxDeadline = &Analyzer{
+	Name: "ctxdeadline",
+	Doc:  "flags dials and blocking wire reads in cmd/ and internal/remote reachable without a deadline or timeout",
+	Run:  runCtxDeadline,
+}
+
+func runCtxDeadline(pass *Pass) {
+	if !strings.Contains(pass.PkgPath, "/cmd/") && !strings.HasSuffix(pass.PkgPath, "/internal/remote") {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			main, lits := FuncCFGs(fd.Body)
+			deadlineFlow(pass, main)
+			for _, cfg := range lits {
+				// Closures run at unknown times with unknown arming state;
+				// analyze pessimistically from an unarmed entry.
+				deadlineFlow(pass, cfg)
+			}
+		}
+	}
+}
+
+// armedFact is true when a deadline/timeout has been armed on every path.
+type armedFact bool
+
+func (a armedFact) Equal(o Fact) bool { b, ok := o.(armedFact); return ok && a == b }
+
+func joinArmed(a, b Fact) Fact { return armedFact(bool(a.(armedFact)) && bool(b.(armedFact))) }
+
+type deadliner struct {
+	pass   *Pass
+	report bool
+}
+
+func deadlineFlow(pass *Pass, cfg *CFG) {
+	d := &deadliner{pass: pass}
+	problem := FlowProblem{
+		Entry: armedFact(false),
+		Join:  joinArmed,
+		Transfer: func(b *Block, in Fact) Fact {
+			armed := bool(in.(armedFact))
+			for _, n := range b.Nodes {
+				armed = d.node(n, armed)
+			}
+			return armedFact(armed)
+		},
+	}
+	in := Solve(cfg, problem)
+	d.report = true
+	for _, b := range cfg.Blocks {
+		f, ok := in[b]
+		if !ok {
+			continue
+		}
+		armed := bool(f.(armedFact))
+		for _, n := range b.Nodes {
+			armed = d.node(n, armed)
+		}
+	}
+}
+
+// node walks one block node in evaluation order, updating the armed state and
+// (in the report pass) flagging unarmed blocking calls.
+func (d *deadliner) node(n ast.Node, armed bool) bool {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(d.pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case armsDeadline(fn):
+			armed = true
+		case isNetDial(fn):
+			if d.report {
+				d.pass.Reportf(call.Pos(), "net.Dial has no connect timeout; a black-holed address blocks forever — use net.DialTimeout or a net.Dialer with Timeout")
+			}
+		case isBlockingRecv(fn):
+			if !armed && d.report {
+				d.pass.Reportf(call.Pos(), "%s.Recv is reachable with no deadline or timeout armed on any path; a silent peer blocks this goroutine forever", recvTypeName(fn))
+			}
+		}
+		return true
+	})
+	return armed
+}
+
+// armsDeadline recognizes the calls that bound a subsequent blocking wait.
+func armsDeadline(fn *types.Func) bool {
+	switch fn.Name() {
+	case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true
+		}
+	}
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() + "." + fn.Name() {
+	case "time.After", "time.NewTimer", "time.AfterFunc", "time.Tick", "time.NewTicker",
+		"context.WithTimeout", "context.WithDeadline",
+		"net.DialTimeout":
+		return true
+	}
+	return false
+}
+
+func isNetDial(fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == "net" && fn.Name() == "Dial" &&
+		func() bool { sig, ok := fn.Type().(*types.Signature); return ok && sig.Recv() == nil }()
+}
+
+// isBlockingRecv matches the module's blocking frame read: a Recv method on a
+// codec-shaped receiver (named type "Codec").
+func isBlockingRecv(fn *types.Func) bool {
+	return fn.Name() == "Recv" && recvTypeName(fn) == "Codec"
+}
+
+func recvTypeName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return typeName(sig.Recv().Type())
+	}
+	return ""
+}

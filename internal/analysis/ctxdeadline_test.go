@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// The ctxdeadline fixture lives under a cmd/ path (the analyzer only runs on
+// cmd/ and internal/remote packages) and models the wire surface with a local
+// Codec type and a connection exposing SetReadDeadline.
+const ctxFixture = `package fixture
+
+import "time"
+
+type Codec struct{}
+
+func (c *Codec) Recv() (int, error) { return 0, nil }
+
+type conn struct{}
+
+func (conn) SetReadDeadline(t time.Time) error { return nil }
+
+func bad(c *Codec) {
+	_, _ = c.Recv()
+}
+
+func armed(c *Codec, cn conn) {
+	_ = cn.SetReadDeadline(time.Now())
+	_, _ = c.Recv()
+}
+
+func partial(c *Codec, cn conn, ok bool) {
+	if ok {
+		_ = cn.SetReadDeadline(time.Now())
+	}
+	_, _ = c.Recv()
+}
+
+func timerArmed(c *Codec) {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	_, _ = c.Recv()
+}
+
+func suppressed(c *Codec) {
+	_, _ = c.Recv() //lint:allow ctxdeadline fixture: loop bounded elsewhere
+}
+`
+
+func TestCtxDeadline(t *testing.T) {
+	pkg := loadSource(t, "srb/cmd/fixture", ctxFixture)
+	diags := RunPackage(pkg, []*Analyzer{CtxDeadline})
+	// bad: unarmed on the only path. partial: unarmed when ok is false (the
+	// must-analysis join). armed/timerArmed: clean. suppressed: annotated.
+	wantLines(t, diags, []int{14, 26}, []int{36})
+	for _, d := range diags {
+		if !d.Suppressed && !strings.Contains(d.Message, "no deadline or timeout armed") {
+			t.Errorf("message %q should describe the missing deadline", d.Message)
+		}
+	}
+}
+
+func TestCtxDeadlineScopedToNetworkPackages(t *testing.T) {
+	// The same source under a core-algorithm path is out of scope: nothing
+	// there does network IO, and in-process Recv-shaped methods are fine.
+	pkg := loadSource(t, "srb/internal/fixture", ctxFixture)
+	wantLines(t, RunPackage(pkg, []*Analyzer{CtxDeadline}), nil, nil)
+}

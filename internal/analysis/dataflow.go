@@ -1,0 +1,57 @@
+package analysis
+
+// dataflow.go is a small forward worklist solver over a CFG. Each analyzer
+// supplies its own lattice: an entry fact, a join, and a transfer function
+// mapping a block's entry fact through its nodes to its exit fact.
+//
+// Facts are treated as immutable values: Transfer and Join must return fresh
+// facts rather than mutating their inputs, because the solver re-reads stored
+// facts across iterations. Lattices must have finite height (every analyzer
+// here tracks finite sets over the function's identifiers), which bounds the
+// iteration.
+
+// Fact is one dataflow value.
+type Fact interface {
+	// Equal reports whether two facts are identical; the solver stops
+	// propagating along an edge when the joined fact equals the stored one.
+	Equal(Fact) bool
+}
+
+// FlowProblem is one forward dataflow instance.
+type FlowProblem struct {
+	// Entry is the fact at the function entry.
+	Entry Fact
+	// Join merges the facts of two predecessors.
+	Join func(a, b Fact) Fact
+	// Transfer maps a block's entry fact to its exit fact.
+	Transfer func(b *Block, in Fact) Fact
+}
+
+// Solve iterates the problem to a fixpoint and returns the entry fact of
+// every block reachable from cfg.Entry (unreachable blocks are absent).
+func Solve(cfg *CFG, p FlowProblem) map[*Block]Fact {
+	in := map[*Block]Fact{cfg.Entry: p.Entry}
+	work := []*Block{cfg.Entry}
+	queued := map[*Block]bool{cfg.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := p.Transfer(b, in[b])
+		for _, s := range b.Succs {
+			next := out
+			if cur, ok := in[s]; ok {
+				next = p.Join(cur, out)
+				if next.Equal(cur) {
+					continue
+				}
+			}
+			in[s] = next
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,557 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// DistUnits is a taint-style units checker for the classic kNN bug of
+// comparing a Euclidean distance against a squared one. Values become tagged
+// at the geometry API boundary — geom's Dist/MinDist/MaxDist/MinDistRect/
+// MaxDistRect return a distance, Dist2 a squared distance, rtree's
+// NearestIter.Next yields a distance, Circle.R and wire.Message.Radius and
+// parameters named "radius" hold distances — and the tags propagate through
+// assignments flow-sensitively over the CFG, through dist*dist (squared),
+// math.Sqrt (back to distance), min/max and same-unit +/-.
+//
+// Reported:
+//
+//   - a comparison (< <= > >= == !=) whose operands are definitely a distance
+//     on one side and a squared distance on the other;
+//   - +/- arithmetic mixing the two units;
+//   - a struct field assigned a distance at one site and a squared distance
+//     at another (per package) — the min-heap-ordering bug: a best-first
+//     queue keyed by such a field interleaves incomparable priorities.
+//
+// Untagged values never flag (only definite cross-unit pairs are reported),
+// and a variable holding different units on different paths joins to "mixed",
+// which silences downstream comparisons rather than guessing.
+var DistUnits = &Analyzer{
+	Name: "distunits",
+	Doc:  "flags comparisons, arithmetic and struct-field keys mixing distance with squared distance",
+	Run:  runDistUnits,
+}
+
+type unit int
+
+const (
+	unitUnknown unit = iota
+	unitDist
+	unitDist2
+	unitMixed
+)
+
+func (u unit) String() string {
+	switch u {
+	case unitDist:
+		return "distance"
+	case unitDist2:
+		return "squared distance"
+	case unitMixed:
+		return "mixed units"
+	}
+	return "unknown"
+}
+
+func ujoin(a, b unit) unit {
+	switch {
+	case a == b:
+		return a
+	case a == unitUnknown:
+		return b
+	case b == unitUnknown:
+		return a
+	default:
+		return unitMixed
+	}
+}
+
+func crossUnits(a, b unit) bool {
+	return (a == unitDist && b == unitDist2) || (a == unitDist2 && b == unitDist)
+}
+
+func runDistUnits(pass *Pass) {
+	du := &distUnits{
+		pass:        pass,
+		fieldWrites: make(map[*types.Var]map[token.Pos]unit),
+		inferred:    make(map[*types.Var]unit),
+	}
+	// Phase A: solve every root once, collecting struct-field write units.
+	du.collect = true
+	du.eachRoot(func(cfg *CFG, entry unitEnv) { du.flow(cfg, entry, false) })
+	du.collect = false
+	du.inferFieldUnits()
+	// Phase B: re-solve with inferred field units visible and report.
+	du.eachRoot(func(cfg *CFG, entry unitEnv) { du.flow(cfg, entry, true) })
+	du.reportFieldConflicts()
+}
+
+type distUnits struct {
+	pass        *Pass
+	collect     bool
+	report      bool
+	fieldWrites map[*types.Var]map[token.Pos]unit
+	inferred    map[*types.Var]unit
+}
+
+// eachRoot visits every function declaration and function literal with its
+// entry environment (parameters named like "radius" start as distances).
+func (du *distUnits) eachRoot(visit func(*CFG, unitEnv)) {
+	for _, f := range du.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			visit(NewCFG(fd.Body), du.entryEnv(fd.Type))
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					visit(NewCFG(fl.Body), du.entryEnv(fl.Type))
+				}
+				return true
+			})
+		}
+	}
+}
+
+func (du *distUnits) entryEnv(ft *ast.FuncType) unitEnv {
+	env := unitEnv{make(map[types.Object]unit)}
+	if ft == nil || ft.Params == nil {
+		return env
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if !strings.HasSuffix(strings.ToLower(name.Name), "radius") {
+				continue
+			}
+			obj := du.pass.Info.Defs[name]
+			if obj != nil && isFloat(obj.Type()) {
+				env.m[obj] = unitDist
+			}
+		}
+	}
+	return env
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// unitEnv is the dataflow fact: the unit tag of each local variable.
+type unitEnv struct{ m map[types.Object]unit }
+
+func (e unitEnv) Equal(o Fact) bool {
+	f, ok := o.(unitEnv)
+	if !ok || len(e.m) != len(f.m) {
+		return false
+	}
+	for k, v := range e.m {
+		if w, ok := f.m[k]; !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+func (e unitEnv) clone() unitEnv {
+	out := make(map[types.Object]unit, len(e.m))
+	for k, v := range e.m {
+		out[k] = v
+	}
+	return unitEnv{out}
+}
+
+func joinUnitEnvs(a, b Fact) Fact {
+	e, f := a.(unitEnv), b.(unitEnv)
+	out := e.clone()
+	for k, v := range f.m {
+		if w, ok := out.m[k]; ok {
+			out.m[k] = ujoin(w, v)
+		} else {
+			out.m[k] = v
+		}
+	}
+	return out
+}
+
+func (du *distUnits) flow(cfg *CFG, entry unitEnv, report bool) {
+	problem := FlowProblem{
+		Entry: entry,
+		Join:  joinUnitEnvs,
+		Transfer: func(b *Block, in Fact) Fact {
+			env := in.(unitEnv).clone()
+			for _, n := range b.Nodes {
+				du.node(n, env)
+			}
+			return env
+		},
+	}
+	in := Solve(cfg, problem)
+	if !report {
+		return
+	}
+	du.report = true
+	for _, b := range cfg.Blocks {
+		f, ok := in[b]
+		if !ok {
+			continue
+		}
+		env := f.(unitEnv).clone()
+		for _, n := range b.Nodes {
+			du.node(n, env)
+		}
+	}
+	du.report = false
+}
+
+// node scans one block node for cross-unit expressions and field writes, then
+// applies its assignments to the environment.
+func (du *distUnits) node(n ast.Node, env unitEnv) {
+	du.scan(n, env)
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		du.applyAssign(n, env)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					du.applyDecl(vs, env)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		// Iteration variables: unknown units.
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok && id != nil {
+				if obj := du.pass.Info.Defs[id]; obj != nil {
+					env.m[obj] = unitUnknown
+				}
+			}
+		}
+	}
+}
+
+// scan reports cross-unit comparisons/arithmetic and records composite-literal
+// field writes anywhere inside the node.
+func (du *distUnits) scan(n ast.Node, env unitEnv) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BinaryExpr:
+			switch m.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				a, b := du.unitOf(m.X, env), du.unitOf(m.Y, env)
+				if crossUnits(a, b) && du.report {
+					du.pass.Reportf(m.OpPos, "comparison mixes %s and %s operands; square one side (d*d) or take math.Sqrt of the other", a, b)
+				}
+			case token.ADD, token.SUB:
+				a, b := du.unitOf(m.X, env), du.unitOf(m.Y, env)
+				if crossUnits(a, b) && du.report {
+					du.pass.Reportf(m.OpPos, "arithmetic mixes %s and %s operands; the result is meaningless", a, b)
+				}
+			}
+		case *ast.CompositeLit:
+			du.compositeWrites(m, env)
+		}
+		return true
+	})
+}
+
+// compositeWrites records the unit of every struct-field value in a literal.
+func (du *distUnits) compositeWrites(lit *ast.CompositeLit, env unitEnv) {
+	if !du.collect {
+		return
+	}
+	st, ok := du.pass.Info.TypeOf(lit).Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		var field *types.Var
+		value := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if v, ok := du.pass.Info.Uses[key].(*types.Var); ok {
+				field = v
+			}
+			value = kv.Value
+		} else if i < st.NumFields() {
+			field = st.Field(i)
+		}
+		if field != nil {
+			du.recordFieldWrite(field, du.unitOf(value, env), value.Pos())
+		}
+	}
+}
+
+func (du *distUnits) applyAssign(n *ast.AssignStmt, env unitEnv) {
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		// Tuple assignment from a multi-result call.
+		var ru []unit
+		if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+			if fn := calleeFunc(du.pass.Info, call); fn != nil {
+				ru = resultUnits(fn)
+			}
+		}
+		for i, lhs := range n.Lhs {
+			u := unitUnknown
+			if i < len(ru) {
+				u = ru[i]
+			}
+			du.setLHS(lhs, u, env)
+		}
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if i >= len(n.Rhs) {
+			break
+		}
+		u := du.unitOf(n.Rhs[i], env)
+		switch n.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN:
+			prev := du.unitOf(lhs, env)
+			if crossUnits(prev, u) && du.report {
+				du.pass.Reportf(n.TokPos, "arithmetic mixes %s and %s operands; the result is meaningless", prev, u)
+			}
+			u = ujoin(prev, u)
+		case token.MUL_ASSIGN:
+			u = mulUnit(du.unitOf(lhs, env), u)
+		case token.ASSIGN, token.DEFINE:
+			// u is the fresh unit.
+		default:
+			u = unitUnknown
+		}
+		du.setLHS(lhs, u, env)
+	}
+}
+
+func (du *distUnits) applyDecl(vs *ast.ValueSpec, env unitEnv) {
+	if len(vs.Values) == 0 {
+		return
+	}
+	if len(vs.Values) == 1 && len(vs.Names) > 1 {
+		var ru []unit
+		if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok {
+			if fn := calleeFunc(du.pass.Info, call); fn != nil {
+				ru = resultUnits(fn)
+			}
+		}
+		for i, name := range vs.Names {
+			u := unitUnknown
+			if i < len(ru) {
+				u = ru[i]
+			}
+			du.setIdent(name, u, env)
+		}
+		return
+	}
+	for i, name := range vs.Names {
+		if i < len(vs.Values) {
+			du.setIdent(name, du.unitOf(vs.Values[i], env), env)
+		}
+	}
+}
+
+func (du *distUnits) setLHS(lhs ast.Expr, u unit, env unitEnv) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		du.setIdent(l, u, env)
+	case *ast.SelectorExpr:
+		if du.collect {
+			if field := du.fieldOf(l); field != nil {
+				du.recordFieldWrite(field, u, l.Sel.Pos())
+			}
+		}
+	}
+}
+
+func (du *distUnits) setIdent(id *ast.Ident, u unit, env unitEnv) {
+	if id.Name == "_" {
+		return
+	}
+	obj := du.pass.Info.Defs[id]
+	if obj == nil {
+		obj = du.pass.Info.Uses[id]
+	}
+	if obj != nil {
+		env.m[obj] = u
+	}
+}
+
+func (du *distUnits) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	if s, ok := du.pass.Info.Selections[sel]; ok {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+func (du *distUnits) recordFieldWrite(field *types.Var, u unit, pos token.Pos) {
+	if u != unitDist && u != unitDist2 {
+		return
+	}
+	if du.fieldWrites[field] == nil {
+		du.fieldWrites[field] = make(map[token.Pos]unit)
+	}
+	du.fieldWrites[field][pos] = u
+}
+
+// inferFieldUnits condenses the collected writes into one unit per field:
+// consistent writes tag the field, conflicting writes mark it mixed (and are
+// reported by reportFieldConflicts).
+func (du *distUnits) inferFieldUnits() {
+	for field, writes := range du.fieldWrites {
+		u := unitUnknown
+		for _, w := range writes {
+			u = ujoin(u, w)
+		}
+		du.inferred[field] = u
+	}
+}
+
+func (du *distUnits) reportFieldConflicts() {
+	fields := make([]*types.Var, 0, len(du.fieldWrites))
+	for f := range du.fieldWrites {
+		if du.inferred[f] == unitMixed {
+			fields = append(fields, f)
+		}
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+	for _, field := range fields {
+		writes := du.fieldWrites[field]
+		poss := make([]token.Pos, 0, len(writes))
+		for p := range writes {
+			poss = append(poss, p)
+		}
+		sort.Slice(poss, func(i, j int) bool { return poss[i] < poss[j] })
+		base := writes[poss[0]]
+		basePos := du.pass.Fset.Position(poss[0])
+		for _, p := range poss[1:] {
+			if writes[p] != base {
+				du.pass.Reportf(p, "field %s is assigned a %s here but a %s at %s; a heap or comparison keyed on it orders incomparable values",
+					field.Name(), writes[p], base, basePos)
+			}
+		}
+	}
+}
+
+// unitOf computes the unit of an expression under the environment.
+func (du *distUnits) unitOf(e ast.Expr, env unitEnv) unit {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := du.pass.Info.Uses[e]; obj != nil {
+			return env.m[obj]
+		}
+	case *ast.SelectorExpr:
+		if field := du.fieldOf(e); field != nil {
+			return du.fieldUnit(field)
+		}
+		// Qualified identifier or method value: no unit.
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB {
+			return du.unitOf(e.X, env)
+		}
+	case *ast.BinaryExpr:
+		a, b := du.unitOf(e.X, env), du.unitOf(e.Y, env)
+		switch e.Op {
+		case token.MUL:
+			return mulUnit(a, b)
+		case token.QUO:
+			if a == unitDist2 && b == unitDist {
+				return unitDist
+			}
+		case token.ADD, token.SUB:
+			if crossUnits(a, b) {
+				return unitUnknown // already reported; don't cascade
+			}
+			return ujoin(a, b)
+		}
+	case *ast.CallExpr:
+		return du.callUnit(e, env)
+	}
+	return unitUnknown
+}
+
+func mulUnit(a, b unit) unit {
+	if a == unitDist && b == unitDist {
+		return unitDist2
+	}
+	return unitUnknown
+}
+
+func (du *distUnits) callUnit(call *ast.CallExpr, env unitEnv) unit {
+	// Conversions (float64(x)) are transparent.
+	if tv, ok := du.pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return du.unitOf(call.Args[0], env)
+	}
+	// min/max builtins join their arguments.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := du.pass.Info.Uses[id].(*types.Builtin); isBuiltin && (id.Name == "min" || id.Name == "max") {
+			u := unitUnknown
+			for _, a := range call.Args {
+				u = ujoin(u, du.unitOf(a, env))
+			}
+			return u
+		}
+	}
+	fn := calleeFunc(du.pass.Info, call)
+	if fn == nil {
+		return unitUnknown
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "math" && fn.Name() == "Sqrt" && len(call.Args) == 1 {
+		if du.unitOf(call.Args[0], env) == unitDist2 {
+			return unitDist
+		}
+		return unitUnknown
+	}
+	if ru := resultUnits(fn); len(ru) == 1 {
+		return ru[0]
+	}
+	return unitUnknown
+}
+
+// resultUnits maps the geometry API's signatures to per-result unit tags.
+func resultUnits(fn *types.Func) []unit {
+	if fn.Pkg() == nil {
+		return nil
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case strings.HasSuffix(path, "internal/geom"):
+		switch fn.Name() {
+		case "Dist2":
+			return []unit{unitDist2}
+		case "Dist", "MinDist", "MaxDist", "MinDistRect", "MaxDistRect":
+			return []unit{unitDist}
+		}
+	case strings.HasSuffix(path, "internal/rtree"):
+		if fn.Name() == "Next" && recvTypeName(fn) == "NearestIter" {
+			return []unit{unitUnknown, unitDist, unitUnknown}
+		}
+	}
+	return nil
+}
+
+// fieldUnit resolves a struct field's unit: the well-known distance-bearing
+// fields of the geometry/wire API, then per-package inference from writes.
+func (du *distUnits) fieldUnit(field *types.Var) unit {
+	if field.Pkg() != nil {
+		path := field.Pkg().Path()
+		if strings.HasSuffix(path, "internal/geom") && field.Name() == "R" {
+			return unitDist
+		}
+		if strings.HasSuffix(path, "internal/wire") && field.Name() == "Radius" {
+			return unitDist
+		}
+	}
+	return du.inferred[field]
+}

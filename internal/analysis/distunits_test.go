@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// The distunits fixtures live under an internal/geom path so the fixture's
+// own Dist/Dist2 signatures are recognized as the unit sources.
+const distFixturePrelude = `package geom
+
+import "math"
+
+type Point struct{ X, Y float64 }
+
+func Dist(a, b Point) float64 {
+	return math.Sqrt(Dist2(a, b))
+}
+
+func Dist2(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx + dy*dy
+}
+`
+
+func TestDistUnitsComparison(t *testing.T) {
+	pkg := loadSource(t, "srb/internal/geom", distFixturePrelude+`
+func bad(a, b, c Point) bool {
+	d := Dist(a, b)
+	d2 := Dist2(a, c)
+	return d < d2
+}
+
+func sqrtFix(a, b, c Point) bool {
+	d := Dist(a, b)
+	d2 := Dist2(a, c)
+	return d < math.Sqrt(d2)
+}
+
+func squareFix(a, b, c Point) bool {
+	d := Dist(a, b)
+	d2 := Dist2(a, c)
+	return d*d < d2
+}
+`)
+	diags := RunPackage(pkg, []*Analyzer{DistUnits})
+	wantLines(t, diags, []int{19}, nil)
+	if len(diags) == 1 && !strings.Contains(diags[0].Message, "comparison mixes distance and squared distance") {
+		t.Errorf("message %q should name both units", diags[0].Message)
+	}
+}
+
+func TestDistUnitsRadius(t *testing.T) {
+	// The within-distance shape: radius parameters are distances, so testing
+	// them against Dist2 without squaring is the bug.
+	pkg := loadSource(t, "srb/internal/geom", distFixturePrelude+`
+func badWithin(center, p Point, radius float64) bool {
+	return Dist2(center, p) <= radius
+}
+
+func goodWithin(center, p Point, radius float64) bool {
+	return Dist2(center, p) <= radius*radius
+}
+`)
+	wantLines(t, RunPackage(pkg, []*Analyzer{DistUnits}), []int{17}, nil)
+}
+
+func TestDistUnitsArithmeticAndJoin(t *testing.T) {
+	pkg := loadSource(t, "srb/internal/geom", distFixturePrelude+`
+func addMix(a, b, c Point) float64 {
+	d := Dist(a, b)
+	d2 := Dist2(a, c)
+	return d + d2
+}
+
+func mixedJoin(cond bool, a, b, c Point) bool {
+	x := Dist(a, b)
+	if cond {
+		x = Dist2(a, c)
+	}
+	// x is mixed here, not definitely one unit: no report.
+	return x < Dist(a, c)
+}
+
+func sameUnit(a, b, c Point) float64 {
+	return Dist(a, b) + Dist(b, c)
+}
+`)
+	diags := RunPackage(pkg, []*Analyzer{DistUnits})
+	wantLines(t, diags, []int{19}, nil)
+	if len(diags) == 1 && !strings.Contains(diags[0].Message, "arithmetic mixes") {
+		t.Errorf("message %q should describe the arithmetic mix", diags[0].Message)
+	}
+}
+
+func TestDistUnitsHeapKeyConflict(t *testing.T) {
+	// The min-heap-ordering bug: one enqueue site keys the heap entry with a
+	// distance, another with a squared distance.
+	pkg := loadSource(t, "srb/internal/geom", distFixturePrelude+`
+type heapEntry struct {
+	id  uint64
+	key float64
+}
+
+func enqueue(a, b, c Point) []heapEntry {
+	e1 := heapEntry{id: 1, key: Dist(a, b)}
+	e2 := heapEntry{id: 2, key: Dist2(a, c)}
+	return []heapEntry{e1, e2}
+}
+`)
+	diags := RunPackage(pkg, []*Analyzer{DistUnits})
+	wantLines(t, diags, []int{23}, nil)
+	if len(diags) == 1 && !strings.Contains(diags[0].Message, "field key is assigned") {
+		t.Errorf("message %q should name the conflicted field", diags[0].Message)
+	}
+}
+
+func TestDistUnitsSuppressed(t *testing.T) {
+	pkg := loadSource(t, "srb/internal/geom", distFixturePrelude+`
+func deliberate(a, b, c Point) bool {
+	d := Dist(a, b)
+	d2 := Dist2(a, c)
+	//lint:allow distunits fixture: cross-unit compare under test
+	return d < d2
+}
+`)
+	wantLines(t, RunPackage(pkg, []*Analyzer{DistUnits}), nil, []int{20})
+}

@@ -1,0 +1,358 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ErrDrop flags error values that are lost along some execution path: a local
+// error variable that is assigned and then overwritten before anything reads
+// it, or that may reach a return while still unread; and a statement that
+// calls a module-internal function returning an error and simply discards the
+// whole result. Explicit discards (`_ = f()`) are deliberate and not flagged.
+//
+// The check is a forward may-analysis over the CFG: the fact is the set of
+// error variables holding a possibly-unread error, keyed to the position of
+// the assignment that produced it. Joins take the union (unread on any path
+// counts), every read anywhere in an expression clears the variable, and
+// assigning the nil literal clears it too (there is nothing to lose).
+//
+// Out of scope, by design: variables whose address is taken or that are
+// captured by a closure (the closure may read them later — e.g. the common
+// `defer func(){ ... err ... }()`), named result parameters (naked returns
+// read them), and error-typed struct fields.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flags error values overwritten or abandoned before being read along some path",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			errDropFunc(pass, fd.Body)
+			// Closures are separate roots: their tracked variables are the
+			// ones they declare themselves (captured ones are exempt).
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					errDropFunc(pass, fl.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// errFact maps each possibly-unread error variable to the position of the
+// assignment that produced its value.
+type errFact struct {
+	vars map[types.Object]token.Pos
+}
+
+func (f errFact) Equal(o Fact) bool {
+	g, ok := o.(errFact)
+	if !ok || len(f.vars) != len(g.vars) {
+		return false
+	}
+	for k, v := range f.vars {
+		if w, ok := g.vars[k]; !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+func (f errFact) clone() errFact {
+	out := make(map[types.Object]token.Pos, len(f.vars))
+	for k, v := range f.vars {
+		out[k] = v
+	}
+	return errFact{out}
+}
+
+func joinErrFacts(a, b Fact) Fact {
+	f, g := a.(errFact), b.(errFact)
+	out := f.clone()
+	for k, v := range g.vars {
+		if w, ok := out.vars[k]; !ok || v < w {
+			out.vars[k] = v
+		}
+	}
+	return out
+}
+
+type errDropper struct {
+	pass    *Pass
+	tracked map[types.Object]bool
+	report  bool
+}
+
+func errDropFunc(pass *Pass, body *ast.BlockStmt) {
+	d := &errDropper{pass: pass, tracked: trackedErrorVars(pass, body)}
+	cfg := NewCFG(body)
+	problem := FlowProblem{
+		Entry: errFact{map[types.Object]token.Pos{}},
+		Join:  joinErrFacts,
+		Transfer: func(b *Block, in Fact) Fact {
+			f := in.(errFact).clone()
+			for _, n := range b.Nodes {
+				d.node(n, &f)
+			}
+			return f
+		},
+	}
+	in := Solve(cfg, problem)
+	// Second pass with reporting on, over the final facts of reachable blocks.
+	d.report = true
+	blocks := reachableInOrder(cfg, in)
+	for _, b := range blocks {
+		f := in[b].(errFact).clone()
+		for _, n := range b.Nodes {
+			d.node(n, &f)
+		}
+	}
+	// Anything still unread on entry to the exit block is abandoned.
+	if exitFact, ok := in[cfg.Exit]; ok {
+		leaks := exitFact.(errFact)
+		type leak struct {
+			obj types.Object
+			pos token.Pos
+		}
+		var ls []leak
+		for obj, pos := range leaks.vars {
+			ls = append(ls, leak{obj, pos})
+		}
+		sort.Slice(ls, func(i, j int) bool { return ls[i].pos < ls[j].pos })
+		for _, l := range ls {
+			pass.Reportf(l.pos, "error assigned to %s may reach a return without ever being read (dropped on at least one path)", l.obj.Name())
+		}
+	}
+}
+
+// reachableInOrder returns the reachable blocks in index order.
+func reachableInOrder(cfg *CFG, in map[*Block]Fact) []*Block {
+	var out []*Block
+	for _, b := range cfg.Blocks {
+		if _, ok := in[b]; ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// trackedErrorVars collects the error-typed local variables declared directly
+// in this function body that are safe to reason about: never address-taken
+// and never captured by a nested function literal. Named result parameters
+// are declared in the signature, not the body, so they are never collected
+// (naked returns read them invisibly).
+func trackedErrorVars(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	errType := types.Universe.Lookup("error").Type()
+	tracked := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // their declarations belong to their own root
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil || obj.Type() == nil || !types.Identical(obj.Type(), errType) {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); isVar {
+			tracked[obj] = true
+		}
+		return true
+	})
+	// Exemptions: address-taken or closure-captured variables may be read
+	// through the alias at any time.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					delete(tracked, pass.Info.Uses[id])
+					delete(tracked, pass.Info.Defs[id])
+				}
+			}
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					delete(tracked, pass.Info.Uses[id])
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+	return tracked
+}
+
+// node applies one CFG node to the fact: reads clear variables, assignments
+// report overwrites and record fresh unread errors, bare module calls that
+// return an error are flagged as discarded.
+func (d *errDropper) node(n ast.Node, f *errFact) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			d.reads(rhs, f)
+		}
+		for _, lhs := range n.Lhs {
+			if _, ok := ast.Unparen(lhs).(*ast.Ident); !ok {
+				d.reads(lhs, f) // m[err] = ..., x.f = ...: index/base reads
+			}
+		}
+		d.assign(n, f)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					d.reads(v, f)
+				}
+				d.declare(vs, f)
+			}
+		}
+	case *ast.RangeStmt:
+		d.reads(n.X, f)
+	case *ast.ExprStmt:
+		d.reads(n.X, f)
+		d.checkDiscardedCall(n)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			d.reads(r, f)
+		}
+	case *ast.DeferStmt:
+		d.reads(n.Call, f)
+	case *ast.GoStmt:
+		d.reads(n.Call, f)
+	case *ast.SendStmt:
+		d.reads(n.Chan, f)
+		d.reads(n.Value, f)
+	case *ast.IncDecStmt:
+		d.reads(n.X, f)
+	case ast.Expr:
+		d.reads(n, f) // a condition/tag expression hoisted into the block
+	}
+}
+
+// reads clears every tracked variable referenced anywhere in the expression.
+func (d *errDropper) reads(e ast.Expr, f *errFact) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := d.pass.Info.Uses[id]; obj != nil && d.tracked[obj] {
+				delete(f.vars, obj)
+			}
+		}
+		return true
+	})
+}
+
+// assign processes the write targets of an assignment.
+func (d *errDropper) assign(n *ast.AssignStmt, f *errFact) {
+	tuple := len(n.Rhs) == 1 && len(n.Lhs) > 1
+	for i, lhs := range n.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := d.pass.Info.Defs[id]
+		if obj == nil {
+			obj = d.pass.Info.Uses[id]
+		}
+		if obj == nil || !d.tracked[obj] {
+			continue
+		}
+		if prev, unread := f.vars[obj]; unread && d.report {
+			d.pass.Reportf(id.Pos(), "%s still holds the unread error assigned at %s; overwriting it drops that error",
+				id.Name, d.pass.Fset.Position(prev))
+		}
+		if !tuple && isNilIdent(n.Rhs[i]) {
+			delete(f.vars, obj)
+			continue
+		}
+		f.vars[obj] = id.Pos()
+	}
+}
+
+// declare processes `var err error = v` declarations (no value: stays nil).
+func (d *errDropper) declare(vs *ast.ValueSpec, f *errFact) {
+	if len(vs.Values) == 0 {
+		return
+	}
+	tuple := len(vs.Values) == 1 && len(vs.Names) > 1
+	for i, id := range vs.Names {
+		if id.Name == "_" {
+			continue
+		}
+		obj := d.pass.Info.Defs[id]
+		if obj == nil || !d.tracked[obj] {
+			continue
+		}
+		if !tuple && isNilIdent(vs.Values[i]) {
+			continue
+		}
+		f.vars[obj] = id.Pos()
+	}
+}
+
+// checkDiscardedCall flags `f(...)` statements whose module-internal callee
+// returns an error that nothing receives.
+func (d *errDropper) checkDiscardedCall(n *ast.ExprStmt) {
+	if !d.report {
+		return
+	}
+	call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(d.pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || !sameModule(fn.Pkg().Path(), d.pass.PkgPath) {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			d.pass.Reportf(call.Pos(), "error result of %s is discarded; check it, or make the discard explicit with `_ =` and a reason", fn.Name())
+			return
+		}
+	}
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// sameModule reports whether two import paths share the module root segment.
+func sameModule(a, b string) bool {
+	seg := func(p string) string {
+		if i := strings.IndexByte(p, '/'); i >= 0 {
+			return p[:i]
+		}
+		return p
+	}
+	return seg(a) == seg(b)
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestErrDropOverwrite(t *testing.T) {
+	pkg := loadSource(t, "srb/internal/fixture", `package fixture
+
+func mk() error { return nil }
+
+func overwrite() error {
+	err := mk()
+	err = mk()
+	return err
+}
+`)
+	diags := RunPackage(pkg, []*Analyzer{ErrDrop})
+	wantLines(t, diags, []int{7}, nil)
+	if len(diags) == 1 && !strings.Contains(diags[0].Message, "overwriting it drops") {
+		t.Errorf("message %q should describe the overwrite", diags[0].Message)
+	}
+}
+
+func TestErrDropAbandonedOnPath(t *testing.T) {
+	// err is read only when c is true; on the other path it reaches the
+	// return unread.
+	pkg := loadSource(t, "srb/internal/fixture", `package fixture
+
+func mk() error { return nil }
+
+func abandoned(c bool) {
+	err := mk()
+	if c {
+		println(err)
+	}
+}
+`)
+	diags := RunPackage(pkg, []*Analyzer{ErrDrop})
+	wantLines(t, diags, []int{6}, nil)
+	if len(diags) == 1 && !strings.Contains(diags[0].Message, "at least one path") {
+		t.Errorf("message %q should say the drop is path-dependent", diags[0].Message)
+	}
+}
+
+func TestErrDropAllPathsRead(t *testing.T) {
+	// Both branches read err before the overwrite/return: flow-sensitivity
+	// must keep this clean (a purely syntactic check would flag it).
+	pkg := loadSource(t, "srb/internal/fixture", `package fixture
+
+func mk() error { return nil }
+
+func clean(c bool) error {
+	err := mk()
+	if c {
+		if err != nil {
+			return err
+		}
+	} else {
+		println(err)
+	}
+	err = mk()
+	return err
+}
+`)
+	wantLines(t, RunPackage(pkg, []*Analyzer{ErrDrop}), nil, nil)
+}
+
+func TestErrDropDiscardedCall(t *testing.T) {
+	// A bare statement call to a module-internal error-returning function is
+	// flagged; the explicit `_ =` discard is deliberate and is not.
+	pkg := loadSource(t, "srb/internal/fixture", `package fixture
+
+func mk() error { return nil }
+
+func discard() {
+	mk()
+	_ = mk()
+}
+`)
+	diags := RunPackage(pkg, []*Analyzer{ErrDrop})
+	wantLines(t, diags, []int{6}, nil)
+	if len(diags) == 1 && !strings.Contains(diags[0].Message, "discarded") {
+		t.Errorf("message %q should describe the discard", diags[0].Message)
+	}
+}
+
+func TestErrDropExemptions(t *testing.T) {
+	// Address-taken and closure-captured error variables are out of scope:
+	// the alias may read them at any time.
+	pkg := loadSource(t, "srb/internal/fixture", `package fixture
+
+func mk() error { return nil }
+func sink(e *error)  {}
+func check(e error)  {}
+
+func addrTaken() {
+	err := mk()
+	sink(&err)
+	err = mk()
+}
+
+func captured() {
+	err := mk()
+	defer func() { check(err) }()
+	err = mk()
+}
+`)
+	wantLines(t, RunPackage(pkg, []*Analyzer{ErrDrop}), nil, nil)
+}
+
+func TestErrDropSuppressed(t *testing.T) {
+	pkg := loadSource(t, "srb/internal/fixture", `package fixture
+
+func mk() error { return nil }
+
+func suppressed() {
+	err := mk()
+	//lint:allow errdrop fixture: first result is best-effort
+	err = mk()
+	println(err)
+}
+`)
+	wantLines(t, RunPackage(pkg, []*Analyzer{ErrDrop}), nil, []int{8})
+}
+
+func TestErrDropLoopReassignment(t *testing.T) {
+	// The classic loop bug: err from the last failed iteration is overwritten
+	// at the top of the next one.
+	pkg := loadSource(t, "srb/internal/fixture", `package fixture
+
+func mk() error { return nil }
+
+func loop() error {
+	var err error
+	for i := 0; i < 3; i++ {
+		err = mk()
+	}
+	return err
+}
+`)
+	// err flows around the back edge unread, so the reassignment is flagged.
+	wantLines(t, RunPackage(pkg, []*Analyzer{ErrDrop}), []int{8}, nil)
+}

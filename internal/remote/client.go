@@ -4,11 +4,16 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"srb/internal/geom"
 	"srb/internal/query"
 	"srb/internal/wire"
 )
+
+// dialTimeout bounds the TCP connect of DialClient/DialApp; a black-holed
+// address fails fast instead of hanging the caller.
+const dialTimeout = 10 * time.Second
 
 // MobileClient is the moving-object runtime: it keeps the current safe
 // region, reports the position to the server only when it leaves the region
@@ -33,7 +38,7 @@ type MobileClient struct {
 // DialClient connects a mobile client, announcing its initial position. The
 // first safe region arrives asynchronously; until then every Tick reports.
 func DialClient(addr string, id uint64, start geom.Point) (*MobileClient, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +72,9 @@ func (c *MobileClient) send(m wire.Message) error {
 func (c *MobileClient) readLoop() {
 	defer close(c.readDone)
 	for {
-		m, err := c.codec.Recv()
+		// The receive loop lives as long as the connection; Close unblocks it
+		// by tearing the conn down, so no read deadline is wanted here.
+		m, err := c.codec.Recv() //lint:allow ctxdeadline long-lived loop, bounded by Close
 		if err != nil {
 			c.mu.Lock()
 			c.readErr = err
@@ -173,7 +180,7 @@ type ResultUpdate struct {
 
 // DialApp connects an application server.
 func DialApp(addr string) (*AppClient, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +197,8 @@ func DialApp(addr string) (*AppClient, error) {
 func (a *AppClient) readLoop() {
 	defer close(a.updates)
 	for {
-		m, err := a.codec.Recv()
+		// Long-lived result stream; Close tears the conn down to unblock it.
+		m, err := a.codec.Recv() //lint:allow ctxdeadline long-lived loop, bounded by Close
 		if err != nil {
 			return
 		}

@@ -23,6 +23,10 @@ import (
 // falling back to the client's last reported location.
 const probeTimeout = 2 * time.Second
 
+// helloTimeout bounds the wait for a new connection's first frame, so a peer
+// that connects and sends nothing cannot pin a handler goroutine forever.
+const helloTimeout = 30 * time.Second
+
 // Server hosts a Monitor on a TCP listener. All monitor operations run on a
 // single event-loop goroutine, matching the framework's sequential
 // processing assumption.
@@ -196,11 +200,15 @@ func (s *Server) onResults(u core.ResultUpdate) {
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	codec := wire.NewCodec(conn)
+	_ = conn.SetReadDeadline(time.Now().Add(helloTimeout))
 	first, err := codec.Recv()
 	if err != nil {
 		_ = conn.Close()
 		return
 	}
+	// The session established, reads are unbounded again: both session kinds
+	// block on their peer indefinitely and are torn down via Close.
+	_ = conn.SetReadDeadline(time.Time{})
 	if first.Type == wire.THello {
 		s.serveClient(conn, codec, first)
 		return
@@ -243,7 +251,9 @@ func (s *Server) serveClient(conn net.Conn, codec *wire.Codec, hello wire.Messag
 		})
 	}()
 	for {
-		m, err := codec.Recv()
+		// Per-client session loop: lives until the peer leaves or the server
+		// closes the conn; an idle (in-region) client is legitimate.
+		m, err := codec.Recv() //lint:allow ctxdeadline long-lived session, bounded by conn close
 		if err != nil {
 			return
 		}
@@ -351,7 +361,9 @@ func (s *Server) serveApp(conn net.Conn, codec *wire.Codec, first wire.Message) 
 			_ = a.send(wire.Message{Type: wire.TError, Err: fmt.Sprintf("unexpected %q", m.Type)})
 		}
 		var err error
-		m, err = codec.Recv()
+		// App sessions register queries then sit idle listening for pushes;
+		// the read is unbounded by design and ends when the conn closes.
+		m, err = codec.Recv() //lint:allow ctxdeadline long-lived session, bounded by conn close
 		if err != nil {
 			return
 		}
