@@ -10,11 +10,13 @@ package srb_test
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"srb"
 	"srb/internal/geom"
 	"srb/internal/mobility"
+	"srb/internal/parallel"
 	"srb/internal/rtree"
 	"srb/internal/saferegion"
 	"srb/internal/sim"
@@ -436,4 +438,95 @@ func BenchmarkBulkLoadVsInsert(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Batch update pipeline ------------------------------------------------------
+
+// updateBenchWorld populates a monitor with n walkers and a mixed query load.
+// The seed is fixed so every benchmark variant processes the identical update
+// stream.
+func updateBenchWorld(b *testing.B, n int) (map[uint64]srb.Point, *srb.Monitor, []*mobility.Waypoint) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(8))
+	positions := map[uint64]srb.Point{}
+	mon := srb.NewMonitor(srb.Options{GridM: 20}, srb.ProberFunc(func(id uint64) srb.Point {
+		return positions[id]
+	}), nil)
+	for i := uint64(0); i < uint64(n); i++ {
+		positions[i] = srb.Pt(rng.Float64(), rng.Float64())
+		mon.AddObject(i, positions[i])
+	}
+	for q := 1; q <= 20; q++ {
+		x, y := rng.Float64()*0.9, rng.Float64()*0.9
+		if q%2 == 0 {
+			if _, _, err := mon.RegisterRange(srb.QueryID(q), srb.R(x, y, x+0.05, y+0.05)); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, _, err := mon.RegisterKNN(srb.QueryID(q), srb.Pt(x, y), 5, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	walkers := make([]*mobility.Waypoint, n)
+	for i := range walkers {
+		walkers[i] = mobility.NewWaypoint(9, uint64(i), srb.R(0, 0, 1, 1), 0.01, 0.1, positions[uint64(i)])
+	}
+	return positions, mon, walkers
+}
+
+const (
+	updateBatchObjects = 2000 // population behind the pipeline acceptance numbers
+	updateBatchSize    = 250  // location updates per simulated tick
+)
+
+// updateBenchTick materializes one tick's batch: updateBatchSize objects
+// report their position at the tick's time, round-robin over the population.
+func updateBenchTick(i int, positions map[uint64]srb.Point, walkers []*mobility.Waypoint) (float64, []parallel.Update) {
+	t := float64(i) * 0.001
+	batch := make([]parallel.Update, updateBatchSize)
+	for j := range batch {
+		id := uint64((i*updateBatchSize + j) % len(walkers))
+		p := walkers[id].At(t)
+		positions[id] = p
+		batch[j] = parallel.Update{ID: id, Loc: p}
+	}
+	return t, batch
+}
+
+// BenchmarkUpdateSequential is the baseline for BenchmarkUpdateBatch: the
+// identical per-tick update stream applied through Monitor.Update in
+// ascending object-ID order. One benchmark iteration is one full tick of
+// updateBatchSize updates.
+func BenchmarkUpdateSequential(b *testing.B) {
+	positions, mon, walkers := updateBenchWorld(b, updateBatchObjects)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, batch := updateBenchTick(i, positions, walkers)
+		sort.Slice(batch, func(a, c int) bool { return batch[a].ID < batch[c].ID })
+		mon.SetTime(t)
+		for _, u := range batch {
+			mon.Update(u.ID, u.Loc)
+		}
+	}
+}
+
+// BenchmarkUpdateBatch drives the same stream through the parallel pipeline
+// at 4 workers and reports the fast-path fraction achieved (the share of
+// safe-region geometry moved off the serial path).
+func BenchmarkUpdateBatch(b *testing.B) {
+	positions, mon, walkers := updateBenchWorld(b, updateBatchObjects)
+	pipe := parallel.New(mon, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, batch := updateBenchTick(i, positions, walkers)
+		mon.SetTime(t)
+		pipe.Apply(batch)
+	}
+	b.StopTimer()
+	if st := pipe.Stats(); st.Updates > 0 {
+		b.ReportMetric(float64(st.Fast)/float64(st.Updates), "fastpath-fraction")
+	}
 }

@@ -25,6 +25,7 @@ func main() {
 		maxSpeed   = flag.Float64("maxspeed", 0, "max object speed; >0 enables the reachability circle (§6.1)")
 		steadiness = flag.Float64("steadiness", 0, "steady-movement parameter D in [0,1] (§6.2)")
 		neighbor   = flag.Int("cellneighborhood", 0, "adaptive safe-region cell radius (§7.4 extension)")
+		workers    = flag.Int("workers", 0, "batch update pipeline worker count; 0 disables batching")
 		admin      = flag.String("admin", "", "optional HTTP admin address (/stats, /snapshot, /svg)")
 	)
 	flag.Parse()
@@ -39,8 +40,9 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	fmt.Printf("srb-server listening on %s (M=%d, maxspeed=%g, D=%g)\n",
-		s.Addr(), *gridM, *maxSpeed, *steadiness)
+	s.SetWorkers(*workers)
+	fmt.Printf("srb-server listening on %s (M=%d, maxspeed=%g, D=%g, workers=%d)\n",
+		s.Addr(), *gridM, *maxSpeed, *steadiness, *workers)
 	if *admin != "" {
 		go func() {
 			defer func() {

@@ -31,6 +31,7 @@ func main() {
 		w        = flag.Int("w", 0, "override the number of queries W")
 		duration = flag.Float64("duration", 0, "override the simulated horizon")
 		seed     = flag.Int64("seed", 0, "override the workload seed")
+		workers  = flag.Int("workers", 0, "SRB batch update pipeline worker count; 0 keeps the sequential path")
 	)
 	flag.Parse()
 
@@ -56,6 +57,9 @@ func main() {
 	}
 	if *seed != 0 {
 		base.Seed = *seed
+	}
+	if *workers > 0 {
+		base.BatchWorkers = *workers
 	}
 
 	run := func(e sim.Experiment) {

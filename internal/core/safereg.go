@@ -22,25 +22,32 @@ func (m *Monitor) objective(st *objectState) geom.Objective {
 	return geom.ExitObjective(st.lastLoc)
 }
 
-// recomputeSafeRegion rebuilds the full safe region of an object from all
-// relevant queries of its grid cell (Section 5): the intersection of the
-// per-query regions, with all range queries whose quarantine excludes the
-// object handled in one batch pass (Section 5.3) unless disabled.
-func (m *Monitor) recomputeSafeRegion(st *objectState) {
-	m.stats.SafeRegionsBuilt++
-	p := st.lastLoc
-	// Adaptive cell (Section 7.4): expand the safe-region cap to neighboring
-	// cells only while the local query load stays low — a wide cap removes
-	// pure cell-crossing updates in sparse areas, but in dense areas every
-	// extra relevant query intersects another constraint into the region and
-	// shrinks it instead.
+// relevantQueriesAt selects the queries constraining a safe region around p
+// together with the cell-neighborhood cap the region may span. Adaptive cell
+// (Section 7.4): expand the safe-region cap to neighboring cells only while
+// the local query load stays low — a wide cap removes pure cell-crossing
+// updates in sparse areas, but in dense areas every extra relevant query
+// intersects another constraint into the region and shrinks it instead.
+// Read-only.
+func (m *Monitor) relevantQueriesAt(p geom.Point) ([]*query.Query, geom.Rect) {
 	r := m.opt.CellNeighborhood
 	relevant := m.grid.AtNeighborhood(p, r)
 	for r > 0 && len(relevant) > maxRelevantForExpansion {
 		r--
 		relevant = m.grid.AtNeighborhood(p, r)
 	}
-	cell := m.grid.NeighborhoodRect(p, r)
+	return relevant, m.grid.NeighborhoodRect(p, r)
+}
+
+// safeRegionFromRelevant computes the maximal safe region of st at st.lastLoc
+// against the given relevant queries (Section 5): the intersection of the
+// per-query regions, with all range queries whose quarantine excludes the
+// object handled in one batch pass (Section 5.3) unless disabled. It is pure
+// with respect to monitor state, which lets the batch planner (batch.go) run
+// it concurrently on a worker pool; for objects that are a result of some
+// relevant query it additionally reads the neighbor objects' representations.
+func (m *Monitor) safeRegionFromRelevant(st *objectState, relevant []*query.Query, cell geom.Rect) geom.Rect {
+	p := st.lastLoc
 	obj := m.objective(st)
 	sr := cell
 	var obstacles []geom.Rect
@@ -67,7 +74,15 @@ func (m *Monitor) recomputeSafeRegion(st *objectState) {
 			sr = sr.Intersect(saferegion.ForRangeBatch(obstacles, p, cell, obj))
 		}
 	}
-	st.safe = clampSafe(sr, p)
+	return sr
+}
+
+// recomputeSafeRegion rebuilds the full safe region of an object from all
+// relevant queries of its grid cell and mirrors it into the object index.
+func (m *Monitor) recomputeSafeRegion(st *objectState) {
+	m.stats.SafeRegionsBuilt++
+	relevant, cell := m.relevantQueriesAt(st.lastLoc)
+	st.safe = clampSafe(m.safeRegionFromRelevant(st, relevant, cell), st.lastLoc)
 	m.tree.Update(st.id, st.safe)
 }
 

@@ -1,0 +1,285 @@
+package parallel_test
+
+// Metamorphic properties of the batch pipeline checked against the
+// brute-force oracle in internal/exact:
+//
+//   - permutation invariance: one batch tick applied in any input order
+//     leaves the monitor in the identical state;
+//   - register→deregister→register idempotence: a query re-registered after
+//     removal reports the same (oracle-verified) result and leaves the same
+//     state behind as the first registration;
+//   - snapshot round-trips: SaveSnapshot/LoadSnapshot reproduce results for
+//     both the sequential Monitor and the ParallelMonitor.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"srb"
+	"srb/internal/exact"
+)
+
+// sortedSet returns a sorted copy for order-insensitive set comparison
+// (range results are sets; their reporting order is unspecified).
+func sortedSet(ids []uint64) []uint64 {
+	out := append([]uint64(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// popWorld builds a seeded random population in a ParallelMonitor and the
+// exact-oracle index side by side.
+func popWorld(seed int64, n, workers int) (*srb.ParallelMonitor, *exact.Index, map[uint64]srb.Point, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	pos := make(map[uint64]srb.Point)
+	mon := srb.NewParallelMonitor(baseOptions(), workers, srb.ProberFunc(func(id uint64) srb.Point { return pos[id] }), nil)
+	oracle := exact.New(10, baseOptions().Space)
+	mon.SetTime(0)
+	for i := 0; i < n; i++ {
+		id := uint64(i)
+		p := srb.Pt(rng.Float64(), rng.Float64())
+		pos[id] = p
+		mon.AddObject(id, p)
+		oracle.Set(id, p)
+	}
+	return mon, oracle, pos, rng
+}
+
+// monitorFingerprint captures the externally observable state: every query's
+// results and every object's safe region, in a canonical order.
+func monitorFingerprint(mon *srb.ParallelMonitor, qids []srb.QueryID, pos map[uint64]srb.Point) string {
+	var buf bytes.Buffer
+	for _, qid := range qids {
+		r, ok := mon.Results(qid)
+		fmt.Fprintf(&buf, "q%d:%v:%v\n", qid, ok, r)
+	}
+	ids := make([]uint64, 0, len(pos))
+	for id := range pos {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r, ok := mon.SafeRegion(id)
+		fmt.Fprintf(&buf, "o%d:%v:%v\n", id, ok, r)
+	}
+	fmt.Fprintf(&buf, "stats:%+v\n", mon.Stats())
+	return buf.String()
+}
+
+func TestMetamorphicBatchPermutationInvariance(t *testing.T) {
+	const n, nPerm = 120, 5
+	// Build the identical world nPerm times and apply the identical batch in
+	// a different input order each time; all final states must coincide.
+	var want string
+	for perm := 0; perm < nPerm; perm++ {
+		mon, oracle, pos, rng := popWorld(11, n, 4)
+		var qids []srb.QueryID
+		ranges := make(map[srb.QueryID]srb.Rect)
+		for q := 0; q < 8; q++ {
+			qid := srb.QueryID(q + 1)
+			if q%2 == 0 {
+				x, y := rng.Float64(), rng.Float64()
+				r := srb.R(x, y, x+0.15, y+0.15)
+				if _, _, err := mon.RegisterRange(qid, r); err != nil {
+					t.Fatal(err)
+				}
+				ranges[qid] = r
+			} else {
+				if _, _, err := mon.RegisterKNN(qid, srb.Pt(rng.Float64(), rng.Float64()), 3, true); err != nil {
+					t.Fatal(err)
+				}
+			}
+			qids = append(qids, qid)
+		}
+		// One tick of movement; rng is at the same stream position in every
+		// iteration, so the batch content is identical across permutations.
+		mon.SetTime(1)
+		batch := make([]srb.ObjectUpdate, 0, n)
+		for i := 0; i < n; i++ {
+			id := uint64(i)
+			p := srb.Pt(rng.Float64(), rng.Float64())
+			pos[id] = p
+			oracle.Set(id, p)
+			batch = append(batch, srb.ObjectUpdate{ID: id, Loc: p})
+		}
+		permRng := rand.New(rand.NewSource(int64(100 + perm)))
+		permRng.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })
+		mon.UpdateBatch(batch)
+
+		got := monitorFingerprint(mon, qids, pos)
+		if perm == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("permutation %d produced a different final state", perm)
+		}
+		// Range results must also agree with the brute-force oracle: range
+		// maintenance is exact once every object has reported its position
+		// (every object in this batch did). kNN results are only
+		// oracle-checked at registration (see the idempotence test) because
+		// continuous kNN maintenance legitimately tolerates bounded staleness.
+		for _, qid := range qids {
+			r, isRange := ranges[qid]
+			if !isRange {
+				continue
+			}
+			got, _ := mon.Results(qid)
+			if want := oracle.Range(r); !reflect.DeepEqual(sortedSet(got), want) {
+				t.Fatalf("permutation %d: range %d disagrees with oracle\ngot:  %v\nwant: %v", perm, qid, got, want)
+			}
+		}
+	}
+}
+
+func TestMetamorphicRegisterDeregisterIdempotence(t *testing.T) {
+	mon, oracle, pos, rng := popWorld(22, 150, 4)
+	for trial := 0; trial < 10; trial++ {
+		qid := srb.QueryID(trial + 1)
+		x, y := rng.Float64()*0.8, rng.Float64()*0.8
+		r := srb.R(x, y, x+0.2, y+0.2)
+
+		first, _, err := mon.RegisterRange(qid, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := oracle.Range(r); !reflect.DeepEqual(sortedSet(first), want) {
+			t.Fatalf("trial %d: first registration disagrees with oracle\ngot:  %v\nwant: %v", trial, first, want)
+		}
+		if !mon.Deregister(qid) {
+			t.Fatalf("trial %d: deregister failed", trial)
+		}
+		second, _, err := mon.RegisterRange(qid, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sortedSet(first), sortedSet(second)) {
+			t.Fatalf("trial %d: re-registration changed the result\nfirst:  %v\nsecond: %v", trial, first, second)
+		}
+		// kNN round-trip: same center and k report the same neighbors, and
+		// they match the oracle's distance order.
+		kid := srb.QueryID(1000 + trial)
+		c := srb.Pt(rng.Float64(), rng.Float64())
+		kFirst, _, err := mon.RegisterKNN(kid, c, 4, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantK := oracle.KNN(c, 4, nil)
+		if len(kFirst) != len(wantK) {
+			t.Fatalf("trial %d: kNN size %d, oracle %d", trial, len(kFirst), len(wantK))
+		}
+		for i, nb := range wantK {
+			if kFirst[i] != nb.ID {
+				t.Fatalf("trial %d: kNN disagrees with oracle at %d: got %v want %v", trial, i, kFirst, wantK)
+			}
+		}
+		if !mon.Deregister(kid) {
+			t.Fatalf("trial %d: kNN deregister failed", trial)
+		}
+		kSecond, _, err := mon.RegisterKNN(kid, c, 4, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(kFirst, kSecond) {
+			t.Fatalf("trial %d: kNN re-registration changed the result\nfirst:  %v\nsecond: %v", trial, kFirst, kSecond)
+		}
+		if !mon.Deregister(qid) || !mon.Deregister(kid) {
+			t.Fatalf("trial %d: cleanup deregister failed", trial)
+		}
+		_ = pos
+	}
+}
+
+func TestMetamorphicSnapshotRoundTrip(t *testing.T) {
+	// Build a world with some history, snapshot it, restore into both monitor
+	// variants, and require identical query results and safe regions.
+	mon, _, pos, rng := popWorld(33, 100, 4)
+	var qids []srb.QueryID
+	for q := 0; q < 6; q++ {
+		qid := srb.QueryID(q + 1)
+		if q%2 == 0 {
+			x, y := rng.Float64()*0.8, rng.Float64()*0.8
+			if _, _, err := mon.RegisterRange(qid, srb.R(x, y, x+0.2, y+0.2)); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, _, err := mon.RegisterKNN(qid, srb.Pt(rng.Float64(), rng.Float64()), 3, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		qids = append(qids, qid)
+	}
+	mon.SetTime(1)
+	var batch []srb.ObjectUpdate
+	for id := range pos {
+		p := srb.Pt(rng.Float64(), rng.Float64())
+		pos[id] = p
+		batch = append(batch, srb.ObjectUpdate{ID: id, Loc: p})
+	}
+	mon.UpdateBatch(batch)
+
+	var buf bytes.Buffer
+	if err := mon.SaveSnapshot(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	snap := buf.Bytes()
+
+	prober := srb.ProberFunc(func(id uint64) srb.Point { return pos[id] })
+	seq := srb.NewMonitor(baseOptions(), prober, nil)
+	if err := seq.LoadSnapshot(bytes.NewReader(snap)); err != nil {
+		t.Fatalf("load into Monitor: %v", err)
+	}
+	par := srb.NewParallelMonitor(baseOptions(), 4, prober, nil)
+	if err := par.LoadSnapshot(bytes.NewReader(snap)); err != nil {
+		t.Fatalf("load into ParallelMonitor: %v", err)
+	}
+
+	for _, qid := range qids {
+		want, wok := mon.Results(qid)
+		gotS, sok := seq.Results(qid)
+		gotP, pok := par.Results(qid)
+		if wok != sok || wok != pok || !reflect.DeepEqual(want, gotS) || !reflect.DeepEqual(want, gotP) {
+			t.Fatalf("query %d results diverged after round-trip: src %v, seq %v, par %v", qid, want, gotS, gotP)
+		}
+	}
+	for id := range pos {
+		want, wok := mon.SafeRegion(id)
+		gotS, sok := seq.SafeRegion(id)
+		gotP, pok := par.SafeRegion(id)
+		//lint:allow floatcmp snapshot round-trip must be bit-exact
+		if wok != sok || wok != pok || want != gotS || want != gotP {
+			t.Fatalf("object %d safe region diverged after round-trip: src %v, seq %v, par %v", id, want, gotS, gotP)
+		}
+	}
+	// The restored monitors must remain fully operational: one more batch on
+	// the restored parallel monitor equals the sequential path on the
+	// restored sequential monitor.
+	seq.SetTime(2)
+	par.SetTime(2)
+	var b2 []srb.ObjectUpdate
+	for id := range pos {
+		p := srb.Pt(rng.Float64(), rng.Float64())
+		pos[id] = p
+		b2 = append(b2, srb.ObjectUpdate{ID: id, Loc: p})
+	}
+	ordered := append([]srb.ObjectUpdate(nil), b2...)
+	sortByID(ordered)
+	var sups []srb.SafeRegionUpdate
+	for _, u := range ordered {
+		sups = append(sups, seq.Update(u.ID, u.Loc)...)
+	}
+	pups := par.UpdateBatch(b2)
+	if !reflect.DeepEqual(sups, pups) {
+		t.Fatalf("post-restore batch diverged from sequential path")
+	}
+}
+
+func sortByID(us []srb.ObjectUpdate) {
+	for i := 1; i < len(us); i++ {
+		for j := i; j > 0 && us[j].ID < us[j-1].ID; j-- {
+			us[j], us[j-1] = us[j-1], us[j]
+		}
+	}
+}

@@ -352,3 +352,77 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// TestBatchedUpdatesOverNetwork runs the server with the batch pipeline
+// enabled and hammers it with a burst of concurrent client reports: the event
+// loop must coalesce them, apply them through the pipeline, and still deliver
+// a correct region to every reporter and correct results to the watcher.
+func TestBatchedUpdatesOverNetwork(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0", core.Options{GridM: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetLogf(nil)
+	s.SetWorkers(4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = s.Serve()
+	}()
+	t.Cleanup(func() {
+		_ = s.Close()
+		wg.Wait()
+	})
+
+	const n = 20
+	clients := make([]*MobileClient, n)
+	for i := range clients {
+		c, err := DialClient(s.Addr(), uint64(i+1), geom.Pt(0.1+0.03*float64(i%5), 0.1+0.03*float64(i/5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	waitFor(t, "objects registered", func() bool {
+		cnt := 0
+		_ = s.do(func() { cnt = s.mon.NumObjects() })
+		return cnt == n
+	})
+
+	app, err := DialApp(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if _, err := app.RegisterRange(1, geom.R(0.6, 0.6, 0.9, 0.9)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Everyone jumps into the query rectangle at once: a burst the event loop
+	// should coalesce into batches.
+	var cwg sync.WaitGroup
+	for i, c := range clients {
+		cwg.Add(1)
+		go func(i int, c *MobileClient) {
+			defer cwg.Done()
+			c.Tick(geom.Pt(0.65+0.01*float64(i%5), 0.65+0.01*float64(i/5)))
+		}(i, c)
+	}
+	cwg.Wait()
+
+	waitFor(t, "all objects in the range result", func() bool {
+		var res []uint64
+		_ = s.do(func() { res, _ = s.mon.Results(1) })
+		return len(res) == n
+	})
+	// Every reporter must have received a region containing its new position.
+	for i, c := range clients {
+		i, c := i, c
+		waitFor(t, "region delivery", func() bool {
+			r, ok := c.Region()
+			return ok && r.Contains(geom.Pt(0.65+0.01*float64(i%5), 0.65+0.01*float64(i/5)))
+		})
+	}
+}

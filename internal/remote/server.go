@@ -15,6 +15,7 @@ import (
 
 	"srb/internal/core"
 	"srb/internal/geom"
+	"srb/internal/parallel"
 	"srb/internal/query"
 	"srb/internal/wire"
 )
@@ -33,8 +34,9 @@ const helloTimeout = 30 * time.Second
 type Server struct {
 	opt  core.Options
 	mon  *core.Monitor
+	pipe *parallel.Pipeline // non-nil when batch updates are enabled
 	ln   net.Listener
-	reqs chan func()
+	reqs chan request
 	done chan struct{}
 
 	// State below is owned by the event loop goroutine.
@@ -45,6 +47,15 @@ type Server struct {
 	wg        sync.WaitGroup
 	start     time.Time
 	logf      func(format string, args ...interface{})
+}
+
+// request is one event-loop operation: either an arbitrary closure or a
+// location update carried as data, so the loop can coalesce a burst of queued
+// updates into a single pipeline batch.
+type request struct {
+	fn func()      // non-update operation; nil for updates
+	c  *clientConn // update: the reporting connection
+	p  geom.Point  // update: the reported location
 }
 
 type clientConn struct {
@@ -78,7 +89,7 @@ func NewServer(addr string, opt core.Options) (*Server, error) {
 	s := &Server{
 		opt:     opt,
 		ln:      ln,
-		reqs:    make(chan func(), 4096),
+		reqs:    make(chan request, 4096),
 		done:    make(chan struct{}),
 		clients: make(map[uint64]*clientConn),
 		watch:   make(map[query.ID]*appConn),
@@ -95,6 +106,19 @@ func (s *Server) SetLogf(f func(string, ...interface{})) {
 		f = func(string, ...interface{}) {}
 	}
 	s.logf = f
+}
+
+// SetWorkers enables the batch update pipeline: bursts of queued location
+// updates are coalesced into one batch whose conflict-free part is planned on
+// n workers (n <= 0 keeps the pure sequential path). The batch outcome is
+// bit-identical to sequential processing in ascending object-ID order — see
+// internal/parallel. Must be called before Serve.
+func (s *Server) SetWorkers(n int) {
+	if n > 0 {
+		s.pipe = parallel.New(s.mon, n)
+	} else {
+		s.pipe = nil
+	}
 }
 
 // Addr returns the bound listener address.
@@ -129,12 +153,70 @@ func (s *Server) loop() {
 	defer s.wg.Done()
 	for {
 		select {
-		case f := <-s.reqs:
+		case r := <-s.reqs:
 			s.mon.SetTime(time.Since(s.start).Seconds())
-			f()
+			s.dispatch(r)
 		case <-s.done:
 			return
 		}
+	}
+}
+
+// dispatch runs one request. A location update additionally drains — without
+// blocking — the updates already queued behind it, so a burst of reports
+// becomes one pipeline batch; draining stops at the first non-update request
+// to preserve FIFO order with respect to registrations and disconnects.
+func (s *Server) dispatch(r request) {
+	if r.fn != nil {
+		r.fn()
+		return
+	}
+	conns := []*clientConn{r.c}
+	pts := []geom.Point{r.p}
+	var after *request
+drain:
+	for {
+		select {
+		case nx := <-s.reqs:
+			if nx.fn != nil {
+				after = &nx
+				break drain
+			}
+			conns = append(conns, nx.c)
+			pts = append(pts, nx.p)
+		default:
+			break drain
+		}
+	}
+	s.applyUpdates(conns, pts)
+	if after != nil {
+		after.fn()
+	}
+}
+
+// applyUpdates processes a coalesced batch of location updates through the
+// parallel pipeline when enabled (and worthwhile), else sequentially, and
+// routes each update's safe-region refreshes back through dispatchRegions
+// with the reporting object as primary.
+func (s *Server) applyUpdates(conns []*clientConn, pts []geom.Point) {
+	// lastPos is only the probe-timeout fallback; every batched report has
+	// been received by now, so expose all of them before the monitor runs
+	// (and possibly probes) any update of the batch.
+	for i, c := range conns {
+		c.lastPos = pts[i]
+	}
+	if s.pipe != nil && len(conns) > 1 {
+		batch := make([]parallel.Update, len(conns))
+		for i, c := range conns {
+			batch[i] = parallel.Update{ID: c.obj, Loc: pts[i]}
+		}
+		s.pipe.ApplyEach(batch, func(i int, ups []core.SafeRegionUpdate) {
+			s.dispatchRegions(conns[i].obj, ups)
+		})
+		return
+	}
+	for i, c := range conns {
+		s.dispatchRegions(c.obj, s.mon.Update(c.obj, pts[i]))
 	}
 }
 
@@ -142,7 +224,7 @@ func (s *Server) loop() {
 func (s *Server) do(f func()) error {
 	doneCh := make(chan struct{})
 	select {
-	case s.reqs <- func() { f(); close(doneCh) }:
+	case s.reqs <- request{fn: func() { f(); close(doneCh) }}:
 	case <-s.done:
 		return errors.New("remote: server closed")
 	}
@@ -229,26 +311,26 @@ func (s *Server) serveClient(conn net.Conn, codec *wire.Codec, hello wire.Messag
 	// blocked probing this very connection, and the probe reply has to keep
 	// flowing. Updates are therefore fire-and-forget enqueues; FIFO order per
 	// connection is preserved by the request channel.
-	enqueue := func(f func()) error {
+	enqueue := func(r request) error {
 		select {
-		case s.reqs <- f:
+		case s.reqs <- r:
 			return nil
 		case <-s.done:
 			return errors.New("remote: server closed")
 		}
 	}
-	if err := enqueue(func() {
+	if err := enqueue(request{fn: func() {
 		s.clients[c.obj] = c
 		c.lastPos = hello.Point()
 		s.dispatchRegions(c.obj, s.mon.AddObject(c.obj, hello.Point()))
-	}); err != nil {
+	}}); err != nil {
 		return
 	}
 	defer func() {
-		_ = enqueue(func() {
+		_ = enqueue(request{fn: func() {
 			delete(s.clients, c.obj)
 			s.mon.RemoveObject(c.obj)
-		})
+		}})
 	}()
 	for {
 		// Per-client session loop: lives until the peer leaves or the server
@@ -259,11 +341,7 @@ func (s *Server) serveClient(conn net.Conn, codec *wire.Codec, hello wire.Messag
 		}
 		switch m.Type {
 		case wire.TUpdate:
-			p := m.Point()
-			if err := enqueue(func() {
-				c.lastPos = p
-				s.dispatchRegions(c.obj, s.mon.Update(c.obj, p))
-			}); err != nil {
+			if err := enqueue(request{c: c, p: m.Point()}); err != nil {
 				return
 			}
 		case wire.TProbeReply:

@@ -62,6 +62,12 @@ type Config struct {
 	// regions may span the (2r+1)² block of grid cells around the object.
 	// 0 reproduces the base framework (single cell).
 	CellNeighborhood int
+	// BatchWorkers, when positive, routes the SRB scheme's source-initiated
+	// updates through the batch pipeline of internal/parallel: updates arriving
+	// at the server at the same instant (e.g. a client sweep) are applied as
+	// one batch planned on this many workers. Results are bit-identical to the
+	// sequential path by the pipeline's determinism contract.
+	BatchWorkers int
 	// Mobility selects the model: "waypoint" (default) or "directed".
 	Mobility string
 	// Space is the monitored region.

@@ -8,6 +8,7 @@ import (
 	"srb/internal/core"
 	"srb/internal/geom"
 	"srb/internal/mobility"
+	"srb/internal/parallel"
 	"srb/internal/query"
 )
 
@@ -77,6 +78,10 @@ func RunSRB(cfg Config) Result {
 	mon := core.New(cfg.coreOptions(), core.ProberFunc(func(id uint64) geom.Point {
 		return curs[id].At(serverNow)
 	}), nil)
+	var pipe *parallel.Pipeline
+	if cfg.BatchWorkers > 0 {
+		pipe = parallel.New(mon, cfg.BatchWorkers)
+	}
 
 	clients := make([]srbClient, cfg.N)
 	var events eventHeap
@@ -189,10 +194,26 @@ func RunSRB(cfg Config) Result {
 		case evServer:
 			serverNow = e.t //nolint:ineffassign // read by the probe callback
 			var ups []core.SafeRegionUpdate
-			serverDo(func() {
-				mon.SetTime(e.t)
-				ups = mon.Update(e.obj, e.pos)
-			})
+			if pipe != nil {
+				// Updates arriving at the same instant — a sweep's burst shares
+				// one timestamp — form one batch tick. Heap order makes them
+				// consecutive; seq preserves their arrival order in the batch.
+				batch := []parallel.Update{{ID: e.obj, Loc: e.pos}}
+				//lint:allow floatcmp batch coalescing: only bitwise-identical timestamps share a tick
+				for events.Len() > 0 && events[0].kind == evServer && events[0].t == e.t {
+					nx := heap.Pop(&events).(event)
+					batch = append(batch, parallel.Update{ID: nx.obj, Loc: nx.pos})
+				}
+				serverDo(func() {
+					mon.SetTime(e.t)
+					ups = pipe.Apply(batch)
+				})
+			} else {
+				serverDo(func() {
+					mon.SetTime(e.t)
+					ups = mon.Update(e.obj, e.pos)
+				})
+			}
 			deliver(e.t, ups)
 		case evRegion:
 			c := &clients[e.obj]
