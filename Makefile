@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt lint test race debug fuzz-smoke
+.PHONY: check build vet fmt lint test race debug fuzz-smoke obs-smoke
 
 check: build vet fmt lint test race debug fuzz-smoke
 
@@ -36,6 +36,15 @@ race:
 # invariant suite (srbdebug build tag).
 debug:
 	$(GO) test -tags srbdebug ./internal/core/
+
+# End-to-end observability gate: build the real binaries, run a server with
+# metrics on, drive a client workload, scrape /metrics and /trace, and fail
+# on any missing family or stuck counter.
+obs-smoke:
+	@mkdir -p bin
+	$(GO) build -o bin/srb-server ./cmd/srb-server
+	$(GO) build -o bin/srb-client ./cmd/srb-client
+	$(GO) run ./cmd/srb-obs-smoke -server bin/srb-server -client bin/srb-client -for 4s
 
 # Short fuzz runs of the geometry and R*-tree oracles plus the lint CFG
 # builder; enough to catch regressions without holding up the gate.

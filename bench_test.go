@@ -16,6 +16,7 @@ import (
 	"srb"
 	"srb/internal/geom"
 	"srb/internal/mobility"
+	"srb/internal/obs"
 	"srb/internal/parallel"
 	"srb/internal/rtree"
 	"srb/internal/saferegion"
@@ -518,6 +519,49 @@ func BenchmarkUpdateSequential(b *testing.B) {
 func BenchmarkUpdateBatch(b *testing.B) {
 	positions, mon, walkers := updateBenchWorld(b, updateBatchObjects)
 	pipe := parallel.New(mon, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, batch := updateBenchTick(i, positions, walkers)
+		mon.SetTime(t)
+		pipe.Apply(batch)
+	}
+	b.StopTimer()
+	if st := pipe.Stats(); st.Updates > 0 {
+		b.ReportMetric(float64(st.Fast)/float64(st.Updates), "fastpath-fraction")
+	}
+}
+
+// --- Observability overhead ------------------------------------------------------
+
+// BenchmarkUpdateSequentialInstrumented is BenchmarkUpdateSequential with a
+// live metrics registry and decision tracer attached: the delta against the
+// uninstrumented run is the full observability cost on the hottest path.
+// BenchmarkUpdateSequential itself (hooks compiled in, no sink) measures the
+// nil-sink cost, which EXPERIMENTS.md bounds at 5% over the pre-hook seed.
+func BenchmarkUpdateSequentialInstrumented(b *testing.B) {
+	positions, mon, walkers := updateBenchWorld(b, updateBatchObjects)
+	mon.SetObs(obs.NewSink(obs.NewRegistry(), obs.NewTracer(obs.DefaultTraceDepth)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, batch := updateBenchTick(i, positions, walkers)
+		sort.Slice(batch, func(a, c int) bool { return batch[a].ID < batch[c].ID })
+		mon.SetTime(t)
+		for _, u := range batch {
+			mon.Update(u.ID, u.Loc)
+		}
+	}
+}
+
+// BenchmarkUpdateBatchInstrumented is BenchmarkUpdateBatch with the sink
+// attached to both the monitor and the pipeline.
+func BenchmarkUpdateBatchInstrumented(b *testing.B) {
+	positions, mon, walkers := updateBenchWorld(b, updateBatchObjects)
+	sink := obs.NewSink(obs.NewRegistry(), obs.NewTracer(obs.DefaultTraceDepth))
+	mon.SetObs(sink)
+	pipe := parallel.New(mon, 4)
+	pipe.SetObs(sink)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,193 @@
+// Command srb-obs-smoke is the observability smoke gate: it starts a real
+// srb-server with metrics enabled, drives a short srb-client workload against
+// it, scrapes /metrics, and fails (exit 1) unless the exposition parses and
+// every required metric family is present with moving counters. It also pulls
+// /trace and /stats to check the rest of the admin surface. CI runs it via
+// `make obs-smoke`; it needs no tools beyond the two freshly built binaries.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"time"
+
+	"srb/internal/obs"
+)
+
+var requiredFamilies = []string{
+	// core monitor
+	"srb_updates_total",
+	"srb_probes_total",
+	"srb_probes_avoided_total",
+	"srb_reevaluations_total",
+	"srb_new_query_evals_total",
+	"srb_safe_regions_built_total",
+	"srb_op_seconds",
+	"srb_objects",
+	"srb_queries",
+	// batch pipeline (the smoke server runs with -workers 2)
+	"srb_batch_batches_total",
+	"srb_batch_updates_total",
+	"srb_batch_fastpath_fraction",
+	"srb_batch_phase_seconds",
+	// server event loop
+	"srb_server_clients",
+	"srb_server_queue_depth",
+	"srb_server_request_seconds",
+	"srb_server_batch_size",
+}
+
+func main() {
+	var (
+		serverBin = flag.String("server", "bin/srb-server", "path to the srb-server binary")
+		clientBin = flag.String("client", "bin/srb-client", "path to the srb-client binary")
+		runFor    = flag.Duration("for", 4*time.Second, "client workload duration")
+	)
+	flag.Parse()
+	if err := run(*serverBin, *clientBin, *runFor); err != nil {
+		fmt.Fprintf(os.Stderr, "obs-smoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("obs-smoke: OK")
+}
+
+// freePort asks the kernel for an unused TCP port. The port is released
+// before the server claims it — a benign race for a smoke test.
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port, nil
+}
+
+func run(serverBin, clientBin string, runFor time.Duration) error {
+	srvPort, err := freePort()
+	if err != nil {
+		return err
+	}
+	adminPort, err := freePort()
+	if err != nil {
+		return err
+	}
+	srvAddr := "127.0.0.1:" + strconv.Itoa(srvPort)
+	adminURL := "http://127.0.0.1:" + strconv.Itoa(adminPort)
+
+	server := exec.Command(serverBin,
+		"-addr", srvAddr, "-admin", "127.0.0.1:"+strconv.Itoa(adminPort), "-workers", "2")
+	server.Stdout = os.Stdout
+	server.Stderr = os.Stderr
+	if err := server.Start(); err != nil {
+		return fmt.Errorf("start server: %w", err)
+	}
+	defer func() {
+		_ = server.Process.Kill()
+		_ = server.Wait()
+	}()
+
+	// Wait for the admin endpoint to come up.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(adminURL + "/stats")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("admin endpoint never came up: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	before, err := scrape(adminURL)
+	if err != nil {
+		return fmt.Errorf("initial scrape: %w", err)
+	}
+
+	client := exec.Command(clientBin,
+		"-addr", srvAddr, "-n", "40", "-range", "2", "-knn", "2",
+		"-speed", "0.05", "-tick", "20ms", "-for", runFor.String())
+	client.Stdout = os.Stdout
+	client.Stderr = os.Stderr
+	if err := client.Run(); err != nil {
+		return fmt.Errorf("client workload: %w", err)
+	}
+
+	after, err := scrape(adminURL)
+	if err != nil {
+		return fmt.Errorf("final scrape: %w", err)
+	}
+	for _, fam := range requiredFamilies {
+		f := after[fam]
+		if f == nil {
+			return fmt.Errorf("required family %s missing; scrape has %v", fam, obs.FamilyNames(after))
+		}
+		if f.Help == "" || f.Type == "" {
+			return fmt.Errorf("family %s lacks HELP/TYPE", fam)
+		}
+		if len(f.Samples) == 0 {
+			return fmt.Errorf("family %s has no samples", fam)
+		}
+	}
+	for _, counter := range []string{"srb_updates_total", "srb_reevaluations_total"} {
+		b := before[counter].Samples[counter]
+		a := after[counter].Samples[counter]
+		if a <= b {
+			return fmt.Errorf("%s did not move under workload: %g -> %g", counter, b, a)
+		}
+	}
+
+	// /trace must serve loadable Chrome trace JSON with events in it.
+	resp, err := http.Get(adminURL + "/trace")
+	if err != nil {
+		return fmt.Errorf("get /trace: %w", err)
+	}
+	defer resp.Body.Close()
+	var trace struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&trace); err != nil {
+		return fmt.Errorf("/trace is not valid JSON: %w", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		return fmt.Errorf("/trace has no events after the workload")
+	}
+
+	// /stats must carry the batch pipeline section (workers enabled).
+	resp2, err := http.Get(adminURL + "/stats")
+	if err != nil {
+		return fmt.Errorf("get /stats: %w", err)
+	}
+	defer resp2.Body.Close()
+	var stats struct {
+		Batch *struct {
+			Updates int64 `json:"Updates"`
+		} `json:"batch"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&stats); err != nil {
+		return fmt.Errorf("/stats is not valid JSON: %w", err)
+	}
+	if stats.Batch == nil {
+		return fmt.Errorf("/stats lacks the batch section with -workers 2")
+	}
+	return nil
+}
+
+func scrape(adminURL string) (map[string]*obs.ParsedFamily, error) {
+	resp, err := http.Get(adminURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics status %d", resp.StatusCode)
+	}
+	return obs.ParseText(resp.Body)
+}

@@ -15,6 +15,7 @@ import (
 
 	"srb/internal/core"
 	"srb/internal/geom"
+	"srb/internal/obs"
 	"srb/internal/remote"
 )
 
@@ -26,7 +27,9 @@ func main() {
 		steadiness = flag.Float64("steadiness", 0, "steady-movement parameter D in [0,1] (§6.2)")
 		neighbor   = flag.Int("cellneighborhood", 0, "adaptive safe-region cell radius (§7.4 extension)")
 		workers    = flag.Int("workers", 0, "batch update pipeline worker count; 0 disables batching")
-		admin      = flag.String("admin", "", "optional HTTP admin address (/stats, /snapshot, /svg)")
+		admin      = flag.String("admin", "", "optional HTTP admin address (/stats, /snapshot, /svg, /metrics, /trace, /debug/pprof)")
+		obsOn      = flag.Bool("obs", true, "attach metrics and tracing when -admin is set")
+		traceBuf   = flag.Int("tracebuf", obs.DefaultTraceDepth, "decision-trace ring size (events retained for /trace)")
 	)
 	flag.Parse()
 
@@ -39,6 +42,11 @@ func main() {
 	})
 	if err != nil {
 		log.Fatalf("listen: %v", err)
+	}
+	if *admin != "" && *obsOn {
+		reg := obs.NewRegistry()
+		reg.PublishExpvar("srb")
+		s.SetObs(obs.NewSink(reg, obs.NewTracer(*traceBuf)))
 	}
 	s.SetWorkers(*workers)
 	fmt.Printf("srb-server listening on %s (M=%d, maxspeed=%g, D=%g, workers=%d)\n",

@@ -15,9 +15,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
+	"srb/internal/obs"
 	"srb/internal/sim"
 )
 
@@ -32,6 +34,8 @@ func main() {
 		duration = flag.Float64("duration", 0, "override the simulated horizon")
 		seed     = flag.Int64("seed", 0, "override the workload seed")
 		workers  = flag.Int("workers", 0, "SRB batch update pipeline worker count; 0 keeps the sequential path")
+		progress = flag.Float64("progress", 0, "print a progress line every this many simulated time units (SRB runs)")
+		metrics  = flag.String("metrics", "", "optional HTTP address serving /metrics and /trace for the running simulation")
 	)
 	flag.Parse()
 
@@ -60,6 +64,32 @@ func main() {
 	}
 	if *workers > 0 {
 		base.BatchWorkers = *workers
+	}
+	if *progress > 0 {
+		base.ProgressEvery = *progress
+		base.Progress = func(p sim.Progress) {
+			fmt.Fprintf(os.Stderr, "progress %s t=%.2f accuracy=%.4f commcost=%.0f updates=%d probes=%d\n",
+				p.Scheme, p.T, p.Accuracy, p.CommCost, p.Updates, p.Probes)
+		}
+	}
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		tr := obs.NewTracer(obs.DefaultTraceDepth)
+		base.Obs = obs.NewSink(reg, tr)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg)
+		mux.Handle("/trace", tr)
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					fmt.Fprintf(os.Stderr, "metrics server panicked: %v\n", r)
+				}
+			}()
+			fmt.Fprintf(os.Stderr, "metrics endpoint on http://%s/metrics\n", *metrics)
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			}
+		}()
 	}
 
 	run := func(e sim.Experiment) {

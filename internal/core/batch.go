@@ -133,6 +133,7 @@ func (m *Monitor) ApplyPlanned(pl *PlannedUpdate) ([]SafeRegionUpdate, bool) {
 	m.stats.SafeRegionsBuilt++
 	st.safe = pl.safe
 	m.tree.Update(pl.id, st.safe)
+	m.noteFastPath()
 	m.assertInvariants()
 	return []SafeRegionUpdate{{Object: pl.id, Region: st.safe}}, true
 }

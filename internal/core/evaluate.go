@@ -3,6 +3,7 @@ package core
 import (
 	"container/heap"
 	"fmt"
+	"time"
 
 	"srb/internal/geom"
 	"srb/internal/query"
@@ -68,6 +69,11 @@ func (m *Monitor) RegisterRange(id query.ID, rect geom.Rect) ([]uint64, []SafeRe
 	if _, ok := m.queries[id]; ok {
 		return nil, nil, fmt.Errorf("core: query %d already registered", id)
 	}
+	var t0 time.Time
+	var before Stats
+	if m.mobs != nil {
+		t0, before = m.obsStart()
+	}
 	q := query.NewRange(id, rect)
 	m.beginOp()
 	m.stats.NewQueryEvals++
@@ -76,6 +82,9 @@ func (m *Monitor) RegisterRange(id query.ID, rect geom.Rect) ([]uint64, []SafeRe
 	m.queries[id] = q
 	m.grid.Insert(q)
 	updates := m.refreshProbedAgainst(q)
+	if m.mobs != nil {
+		m.mobs.done(m, "register", m.mobs.regSeconds, t0, before)
+	}
 	m.assertInvariants()
 	return append([]uint64(nil), results...), updates, nil
 }
@@ -87,6 +96,11 @@ func (m *Monitor) RegisterKNN(id query.ID, pt geom.Point, k int, orderSensitive 
 	if _, ok := m.queries[id]; ok {
 		return nil, nil, fmt.Errorf("core: query %d already registered", id)
 	}
+	var t0 time.Time
+	var before Stats
+	if m.mobs != nil {
+		t0, before = m.obsStart()
+	}
 	q := query.NewKNN(id, pt, k, orderSensitive)
 	m.beginOp()
 	m.stats.NewQueryEvals++
@@ -94,6 +108,9 @@ func (m *Monitor) RegisterKNN(id query.ID, pt geom.Point, k int, orderSensitive 
 	m.queries[id] = q
 	m.grid.Insert(q)
 	updates := m.refreshProbedAgainst(q)
+	if m.mobs != nil {
+		m.mobs.done(m, "register", m.mobs.regSeconds, t0, before)
+	}
 	m.assertInvariants()
 	return append([]uint64(nil), q.Results...), updates, nil
 }
@@ -107,6 +124,11 @@ func (m *Monitor) RegisterWithinDistance(id query.ID, center geom.Point, radius 
 	if _, ok := m.queries[id]; ok {
 		return nil, nil, fmt.Errorf("core: query %d already registered", id)
 	}
+	var t0 time.Time
+	var before Stats
+	if m.mobs != nil {
+		t0, before = m.obsStart()
+	}
 	q := query.NewWithinDistance(id, center, radius)
 	m.beginOp()
 	m.stats.NewQueryEvals++
@@ -115,6 +137,9 @@ func (m *Monitor) RegisterWithinDistance(id query.ID, center geom.Point, radius 
 	m.queries[id] = q
 	m.grid.Insert(q)
 	updates := m.refreshProbedAgainst(q)
+	if m.mobs != nil {
+		m.mobs.done(m, "register", m.mobs.regSeconds, t0, before)
+	}
 	m.assertInvariants()
 	return append([]uint64(nil), results...), updates, nil
 }
@@ -138,11 +163,11 @@ func (m *Monitor) evalCircle(q *query.Query) []uint64 {
 			r = m.repr(it.ID)
 			lo, hi = r.MinDist(q.Point), r.MaxDist(q.Point)
 			if lo > c.R {
-				m.stats.ProbesAvoided++
+				m.noteProbeAvoided(it.ID)
 				return true
 			}
 			if hi <= c.R {
-				m.stats.ProbesAvoided++
+				m.noteProbeAvoided(it.ID)
 				results = append(results, it.ID)
 				return true
 			}
@@ -163,6 +188,11 @@ func (m *Monitor) RegisterCount(id query.ID, rect geom.Rect) (int, []SafeRegionU
 	if _, ok := m.queries[id]; ok {
 		return 0, nil, fmt.Errorf("core: query %d already registered", id)
 	}
+	var t0 time.Time
+	var before Stats
+	if m.mobs != nil {
+		t0, before = m.obsStart()
+	}
 	q := query.NewCountRange(id, rect)
 	m.beginOp()
 	m.stats.NewQueryEvals++
@@ -171,6 +201,9 @@ func (m *Monitor) RegisterCount(id query.ID, rect geom.Rect) (int, []SafeRegionU
 	m.queries[id] = q
 	m.grid.Insert(q)
 	updates := m.refreshProbedAgainst(q)
+	if m.mobs != nil {
+		m.mobs.done(m, "register", m.mobs.regSeconds, t0, before)
+	}
 	m.assertInvariants()
 	return len(results), updates, nil
 }
@@ -186,6 +219,10 @@ func (m *Monitor) Deregister(id query.ID) bool {
 	}
 	m.grid.Remove(q)
 	delete(m.queries, id)
+	if m.mobs != nil {
+		m.mobs.queries.Set(float64(len(m.queries)))
+		m.mobs.tr.Instant("core", "deregister", "query", int64(id), "", 0)
+	}
 	m.assertInvariants()
 	return true
 }
@@ -236,12 +273,12 @@ func (m *Monitor) evalRange(q *query.Query) []uint64 {
 		if m.virtualProbe(it.ID) {
 			r = m.repr(it.ID)
 			if q.Rect.ContainsRect(r) {
-				m.stats.ProbesAvoided++
+				m.noteProbeAvoided(it.ID)
 				results = append(results, it.ID)
 				return true
 			}
 			if !r.Intersects(q.Rect) {
-				m.stats.ProbesAvoided++
+				m.noteProbeAvoided(it.ID)
 				return true
 			}
 		}

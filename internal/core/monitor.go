@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"srb/internal/geom"
 	"srb/internal/gridindex"
@@ -150,6 +151,10 @@ type Monitor struct {
 	// shrunken regions must be pushed to the clients at the end of the
 	// operation so the update protocol stays exact.
 	shrunkNow map[uint64]bool
+
+	// mobs holds the bound observability instruments (obs.go); nil when
+	// uninstrumented, which keeps every hook to a single branch.
+	mobs *monObs
 }
 
 // New creates a Monitor. prober must not be nil; onUpdate may be nil when the
@@ -243,6 +248,11 @@ func (m *Monitor) AddObject(id uint64, p geom.Point) []SafeRegionUpdate {
 	if _, ok := m.objects[id]; ok {
 		return m.Update(id, p)
 	}
+	var t0 time.Time
+	var before Stats
+	if m.mobs != nil {
+		t0, before = m.obsStart()
+	}
 	st := &objectState{id: id, lastLoc: p, prevLoc: p, lastTime: m.now}
 	m.objects[id] = st
 	st.safe = geom.RectAround(p)
@@ -255,6 +265,9 @@ func (m *Monitor) AddObject(id uint64, p geom.Point) []SafeRegionUpdate {
 		}
 	}
 	out := m.finishOp(st)
+	if m.mobs != nil {
+		m.mobs.done(m, "add", m.mobs.addSeconds, t0, before)
+	}
 	m.assertInvariants()
 	return out
 }
@@ -265,6 +278,11 @@ func (m *Monitor) AddObject(id uint64, p geom.Point) []SafeRegionUpdate {
 func (m *Monitor) RemoveObject(id uint64) []SafeRegionUpdate {
 	if _, ok := m.objects[id]; !ok {
 		return nil
+	}
+	var t0 time.Time
+	var before Stats
+	if m.mobs != nil {
+		t0, before = m.obsStart()
 	}
 	m.beginOp()
 	m.tree.Delete(id)
@@ -287,6 +305,9 @@ func (m *Monitor) RemoveObject(id uint64) []SafeRegionUpdate {
 	}
 	delete(m.resultOf, id)
 	out := m.finishOp(nil)
+	if m.mobs != nil {
+		m.mobs.done(m, "remove", m.mobs.remSeconds, t0, before)
+	}
 	m.assertInvariants()
 	return out
 }
@@ -448,6 +469,7 @@ func (m *Monitor) probe(id uint64) geom.Point {
 	}
 	p := m.prober.Probe(id)
 	m.stats.Probes++
+	m.noteProbe(id)
 	st := m.objects[id]
 	m.probedFrom[id] = st.lastLoc
 	st.prevLoc = st.lastLoc
@@ -514,6 +536,7 @@ func (m *Monitor) virtualProbe(id uint64) bool {
 	m.tree.Update(id, st.safe)
 	m.shrunkNow[id] = true
 	m.stats.VirtualProbes++
+	m.noteShrink(id)
 	return true
 }
 

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"strconv"
+	"time"
+
+	"srb/internal/obs"
+	"srb/internal/query"
+)
+
+// monObs holds the Monitor's bound instruments. The Monitor keeps a nil
+// *monObs when uninstrumented, so every hook on the hot path is one branch;
+// with a sink attached, counters mirror the Stats work counters (folded in
+// as per-operation deltas), op latencies land in per-kind histograms, and
+// decision-level events (probe issued/avoided, kNN case taken, safe-region
+// shrink) stream into the tracer.
+type monObs struct {
+	tr *obs.Tracer
+
+	updates       *obs.Counter
+	probes        *obs.Counter
+	probesAvoided *obs.Counter
+	virtualProbes *obs.Counter
+	reevals       *obs.Counter
+	fullReevals   *obs.Counter
+	newQueryEvals *obs.Counter
+	safeRegions   *obs.Counter
+	resultChanges *obs.Counter
+	knnCase       [3]*obs.Counter
+
+	updSeconds *obs.Histogram
+	addSeconds *obs.Histogram
+	remSeconds *obs.Histogram
+	regSeconds *obs.Histogram
+
+	objects *obs.Gauge
+	queries *obs.Gauge
+}
+
+// SetObs attaches an observability sink to the monitor (nil detaches). Must
+// be called while no operation is in flight — in practice right after New,
+// or from whatever serializes monitor access. Instrument registration is
+// idempotent per registry, so several monitors may share one sink only if
+// they are alternatives, not concurrent (their counters would merge).
+func (m *Monitor) SetObs(sink *obs.Sink) {
+	if sink == nil || (sink.Registry() == nil && sink.Tracer() == nil) {
+		m.mobs = nil
+		return
+	}
+	r := sink.Registry()
+	o := &monObs{tr: sink.Tracer()}
+	o.updates = r.Counter("srb_updates_total", "Client-initiated location updates processed.")
+	o.probes = r.Counter("srb_probes_total", "Server-initiated probes issued.")
+	o.probesAvoided = r.Counter("srb_probes_avoided_total", "Ambiguities resolved without a probe (lazy probing and reachability circle).")
+	o.virtualProbes = r.Counter("srb_virtual_probes_total", "Reachability-circle safe-region shrinks (virtual probes, §6.1).")
+	o.reevals = r.Counter("srb_reevaluations_total", "Incremental query reevaluations.")
+	o.fullReevals = r.Counter("srb_full_reevaluations_total", "Reevaluations that fell back to from-scratch evaluation.")
+	o.newQueryEvals = r.Counter("srb_new_query_evals_total", "From-scratch evaluations of newly registered queries.")
+	o.safeRegions = r.Counter("srb_safe_regions_built_total", "Full safe-region computations.")
+	o.resultChanges = r.Counter("srb_result_changes_total", "Result updates pushed to application servers.")
+	for i := range o.knnCase {
+		o.knnCase[i] = r.Counter("srb_knn_case_total", "Incremental kNN reevaluations by §4.3 case taken.",
+			"case", strconv.Itoa(i+1))
+	}
+	help := "Monitor operation latency by operation kind."
+	o.updSeconds = r.Histogram("srb_op_seconds", help, obs.LatencyBuckets(), "op", "update")
+	o.addSeconds = r.Histogram("srb_op_seconds", help, obs.LatencyBuckets(), "op", "add")
+	o.remSeconds = r.Histogram("srb_op_seconds", help, obs.LatencyBuckets(), "op", "remove")
+	o.regSeconds = r.Histogram("srb_op_seconds", help, obs.LatencyBuckets(), "op", "register")
+	o.objects = r.Gauge("srb_objects", "Registered moving objects.")
+	o.queries = r.Gauge("srb_queries", "Registered continuous queries.")
+	m.mobs = o
+}
+
+// obsStart snapshots the clock and the work counters at the head of an
+// instrumented operation. Callers guard with `if m.mobs != nil`.
+func (m *Monitor) obsStart() (time.Time, Stats) {
+	return time.Now(), m.stats
+}
+
+// done closes an instrumented operation: observe its latency, fold the Stats
+// deltas into the registry counters, refresh the population gauges, and emit
+// a trace span carrying the operation's probe/reevaluation cost.
+func (o *monObs) done(m *Monitor, op string, h *obs.Histogram, start time.Time, before Stats) {
+	h.ObserveSince(start)
+	d := m.stats
+	o.updates.Add(d.SourceUpdates - before.SourceUpdates)
+	o.probes.Add(d.Probes - before.Probes)
+	o.probesAvoided.Add(d.ProbesAvoided - before.ProbesAvoided)
+	o.virtualProbes.Add(d.VirtualProbes - before.VirtualProbes)
+	o.reevals.Add(d.Reevaluations - before.Reevaluations)
+	o.fullReevals.Add(d.FullReevals - before.FullReevals)
+	o.newQueryEvals.Add(d.NewQueryEvals - before.NewQueryEvals)
+	o.safeRegions.Add(d.SafeRegionsBuilt - before.SafeRegionsBuilt)
+	o.resultChanges.Add(d.ResultChanges - before.ResultChanges)
+	o.objects.Set(float64(len(m.objects)))
+	o.queries.Set(float64(len(m.queries)))
+	o.tr.Span("core", op, start,
+		"probes", d.Probes-before.Probes,
+		"reevals", d.Reevaluations-before.Reevaluations)
+}
+
+// noteProbe emits the decision-level probe event (the counter is folded in
+// at operation end from the Stats delta).
+func (m *Monitor) noteProbe(id uint64) {
+	if m.mobs != nil {
+		m.mobs.tr.Instant("core", "probe", "obj", int64(id), "", 0)
+	}
+}
+
+// noteProbeAvoided counts an ambiguity resolved without a real probe and
+// emits its trace marker.
+func (m *Monitor) noteProbeAvoided(id uint64) {
+	m.stats.ProbesAvoided++
+	if m.mobs != nil {
+		m.mobs.tr.Instant("core", "probe-avoided", "obj", int64(id), "", 0)
+	}
+}
+
+// noteShrink emits the safe-region shrink event of a reachability-circle
+// virtual probe; the event name carries the shrink reason.
+func (m *Monitor) noteShrink(id uint64) {
+	if m.mobs != nil {
+		m.mobs.tr.Instant("core", "sr-shrink-reachability", "obj", int64(id), "", 0)
+	}
+}
+
+// noteKNNCase records which §4.3 incremental case an order-sensitive kNN
+// reevaluation took (1 = leave, 2 = enter, 3 = reorder).
+func (m *Monitor) noteKNNCase(q *query.Query, c int) {
+	if m.mobs != nil {
+		m.mobs.knnCase[c-1].Inc()
+		m.mobs.tr.Instant("core", "knn-case", "case", int64(c), "query", int64(q.ID))
+	}
+}
+
+// noteFastPath counts a batch fast-path update (ApplyPlanned): the replayed
+// effect sequence advances SourceUpdates and SafeRegionsBuilt without going
+// through an instrumented op wrapper, so the two counters are bumped
+// directly; population is unchanged and no probes or reevaluations happen on
+// this path by construction.
+func (m *Monitor) noteFastPath() {
+	if m.mobs != nil {
+		m.mobs.updates.Inc()
+		m.mobs.safeRegions.Inc()
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sort"
+	"time"
 
 	"srb/internal/geom"
 	"srb/internal/query"
@@ -18,6 +19,11 @@ func (m *Monitor) Update(id uint64, p geom.Point) []SafeRegionUpdate {
 	st, ok := m.objects[id]
 	if !ok {
 		return m.AddObject(id, p)
+	}
+	var t0 time.Time
+	var before Stats
+	if m.mobs != nil {
+		t0, before = m.obsStart()
 	}
 	m.stats.SourceUpdates++
 	m.beginOp()
@@ -56,6 +62,9 @@ func (m *Monitor) Update(id uint64, p geom.Point) []SafeRegionUpdate {
 		}
 	}
 	out := m.finishOp(st)
+	if m.mobs != nil {
+		m.mobs.done(m, "update", m.mobs.updSeconds, t0, before)
+	}
 	m.assertInvariants()
 	return out
 }
@@ -63,6 +72,10 @@ func (m *Monitor) Update(id uint64, p geom.Point) []SafeRegionUpdate {
 // reevaluate incrementally repairs one affected query after st moved from
 // pLst to st.lastLoc, publishing the result if it changed.
 func (m *Monitor) reevaluate(q *query.Query, st *objectState, pLst geom.Point) {
+	var t0 time.Time
+	if m.mobs != nil {
+		t0 = time.Now()
+	}
 	m.stats.Reevaluations++
 	before := append([]uint64(nil), q.Results...)
 	switch q.Kind {
@@ -80,6 +93,9 @@ func (m *Monitor) reevaluate(q *query.Query, st *objectState, pLst geom.Point) {
 	}
 	if !q.ResultEquals(before) {
 		m.publish(q)
+	}
+	if m.mobs != nil {
+		m.mobs.tr.Span("core", "reevaluate", t0, "query", int64(q.ID), "kind", int64(q.Kind))
 	}
 }
 
@@ -128,11 +144,13 @@ func (m *Monitor) reevalKNNSensitive(q *query.Query, st *objectState, pLst geom.
 		if !was {
 			return
 		}
+		m.noteKNNCase(q, 1)
 		m.removeResultID(q, st.id)
 		m.refillKNN(q)
 	case inNew && !inOld:
 		// Case 2: the object entered the quarantine area; it displaces the
 		// current k-th NN.
+		m.noteKNNCase(q, 2)
 		if was || len(q.Results) < q.K {
 			m.fullReevalKNN(q)
 			return
@@ -149,6 +167,7 @@ func (m *Monitor) reevalKNNSensitive(q *query.Query, st *objectState, pLst geom.
 		q.QRadius = m.quarantineRadius(newMax, droppedMin)
 	case inNew && inOld:
 		// Case 3: movement inside the quarantine area may reorder results.
+		m.noteKNNCase(q, 3)
 		if !was {
 			m.fullReevalKNN(q)
 			return

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Event is one decision-level trace record: a completed span (Dur > 0) or an
+// instant marker. Up to two integer arguments ride along under fixed keys so
+// emitting an event never allocates.
+type Event struct {
+	TS   int64 // nanoseconds since the tracer's epoch
+	Dur  int64 // span duration in nanoseconds; 0 marks an instant event
+	Cat  string
+	Name string
+	K1   string // "" when unused
+	V1   int64
+	K2   string
+	V2   int64
+}
+
+// Tracer records recent events into a bounded ring buffer. Writers take one
+// short mutex-protected critical section (a struct store and an index
+// increment — tens of nanoseconds uncontended, and the monitoring stack's
+// emitters are already serialized on the event loop); when the ring is full
+// the oldest events are overwritten, so the tracer holds the most recent
+// window of decision history at a fixed memory cost.
+//
+// A nil Tracer discards all events, so instrumented code can emit
+// unconditionally behind a single enabled-check.
+type Tracer struct {
+	mu    sync.Mutex
+	buf   []Event
+	n     uint64 // total events ever emitted
+	epoch time.Time
+}
+
+// DefaultTraceDepth is the ring size used when NewTracer is given a
+// non-positive size.
+const DefaultTraceDepth = 16384
+
+// NewTracer creates a tracer retaining the last size events.
+func NewTracer(size int) *Tracer {
+	if size <= 0 {
+		size = DefaultTraceDepth
+	}
+	return &Tracer{buf: make([]Event, size), epoch: time.Now()}
+}
+
+func (t *Tracer) emit(e Event) {
+	t.mu.Lock()
+	t.buf[t.n%uint64(len(t.buf))] = e
+	t.n++
+	t.mu.Unlock()
+}
+
+// Span records a completed operation that began at start. Unused argument
+// slots take an empty key.
+func (t *Tracer) Span(cat, name string, start time.Time, k1 string, v1 int64, k2 string, v2 int64) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.emit(Event{
+		TS:  start.Sub(t.epoch).Nanoseconds(),
+		Dur: now.Sub(start).Nanoseconds(),
+		Cat: cat, Name: name, K1: k1, V1: v1, K2: k2, V2: v2,
+	})
+}
+
+// SpanBetween records a completed operation with explicit endpoints, for
+// phases whose end is not the emit time (e.g. a pipeline phase reported after
+// the following phase finished).
+func (t *Tracer) SpanBetween(cat, name string, start, end time.Time, k1 string, v1 int64, k2 string, v2 int64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{
+		TS:  start.Sub(t.epoch).Nanoseconds(),
+		Dur: end.Sub(start).Nanoseconds(),
+		Cat: cat, Name: name, K1: k1, V1: v1, K2: k2, V2: v2,
+	})
+}
+
+// Instant records a point-in-time marker.
+func (t *Tracer) Instant(cat, name, k1 string, v1 int64, k2 string, v2 int64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{
+		TS:  time.Since(t.epoch).Nanoseconds(),
+		Cat: cat, Name: name, K1: k1, V1: v1, K2: k2, V2: v2,
+	})
+}
+
+// Total returns how many events were ever emitted; Dropped how many of those
+// have been overwritten.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Dropped returns the number of events lost to ring overwrites.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n <= uint64(len(t.buf)) {
+		return 0
+	}
+	return t.n - uint64(len(t.buf))
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := uint64(len(t.buf))
+	if t.n <= size {
+		return append([]Event(nil), t.buf[:t.n]...)
+	}
+	out := make([]Event, 0, size)
+	start := t.n % size
+	out = append(out, t.buf[start:]...)
+	out = append(out, t.buf[:start]...)
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON format, loadable in
+// chrome://tracing and Perfetto (https://ui.perfetto.dev).
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat"`
+	Ph   string           `json:"ph"`
+	TS   float64          `json:"ts"` // microseconds
+	Dur  *float64         `json:"dur,omitempty"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	S    string           `json:"s,omitempty"` // instant-event scope
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace renders the retained events as Chrome trace-event JSON.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	evs := t.Events()
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(evs))}
+	for _, e := range evs {
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  e.Cat,
+			TS:   float64(e.TS) / 1e3,
+			Pid:  1,
+			Tid:  1,
+		}
+		if e.Dur > 0 {
+			ce.Ph = "X"
+			d := float64(e.Dur) / 1e3
+			ce.Dur = &d
+		} else {
+			ce.Ph = "i"
+			ce.S = "g"
+		}
+		if e.K1 != "" || e.K2 != "" {
+			ce.Args = make(map[string]int64, 2)
+			if e.K1 != "" {
+				ce.Args[e.K1] = e.V1
+			}
+			if e.K2 != "" {
+				ce.Args[e.K2] = e.V2
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ServeHTTP serves the Chrome trace JSON, so a Tracer can be mounted
+// directly on a mux (e.g. under /trace).
+func (t *Tracer) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	if t == nil {
+		http.Error(w, "tracing disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="srb-trace.json"`)
+	// A failed write means the downloader went away; nothing to do here.
+	_ = t.WriteChromeTrace(w) //lint:allow errdrop client disconnect is not actionable
+}
+
+// Sink bundles a metrics Registry and a Tracer into the single handle
+// instrumented components accept. A nil *Sink (and a Sink with nil parts) is
+// fully operational as "observability off": Registry() and Tracer() return
+// nil, which every downstream constructor and instrument tolerates.
+type Sink struct {
+	reg *Registry
+	tr  *Tracer
+}
+
+// NewSink bundles a registry and tracer; either may be nil to enable only
+// the other half.
+func NewSink(reg *Registry, tr *Tracer) *Sink {
+	return &Sink{reg: reg, tr: tr}
+}
+
+// Registry returns the sink's registry, or nil.
+func (s *Sink) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Tracer returns the sink's tracer, or nil.
+func (s *Sink) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"srb/internal/core"
 	"srb/internal/geom"
@@ -54,6 +55,7 @@ type Pipeline struct {
 	mon     *core.Monitor
 	workers int
 	stats   Stats
+	obs     *pipeObs
 }
 
 // New creates a pipeline over mon with the given worker-pool size; workers
@@ -93,6 +95,12 @@ func (p *Pipeline) ApplyEach(batch []Update, emit func(i int, ups []core.SafeReg
 	n := len(batch)
 	if n == 0 {
 		return
+	}
+	var t0 time.Time
+	var before Stats
+	if p.obs != nil {
+		t0 = time.Now()
+		before = p.stats
 	}
 	p.stats.Batches++
 	p.stats.Updates += int64(n)
@@ -148,6 +156,11 @@ func (p *Pipeline) ApplyEach(batch []Update, emit func(i int, ups []core.SafeReg
 		}
 	}
 
+	var planDone time.Time
+	if p.obs != nil {
+		planDone = time.Now()
+	}
+
 	// Phase 2 — serial, in application order: fast-apply still-valid plans,
 	// fall back to the sequential path for the conflicting residue.
 	for _, i := range order {
@@ -161,5 +174,8 @@ func (p *Pipeline) ApplyEach(batch []Update, emit func(i int, ups []core.SafeReg
 		}
 		p.stats.Fallback++
 		emit(i, p.mon.Update(batch[i].ID, batch[i].Loc))
+	}
+	if p.obs != nil {
+		p.obs.done(p, before, t0, planDone, time.Now())
 	}
 }

@@ -3,34 +3,47 @@ package remote
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
 
 	"srb/internal/core"
+	"srb/internal/parallel"
 	"srb/internal/viz"
 )
 
 // AdminHandler returns an HTTP handler exposing the server's operational
 // surface:
 //
-//	GET /stats     server work counters and population as JSON
-//	GET /snapshot  the monitor state as a gob snapshot (core.SaveSnapshot)
-//	GET /svg       the spatial state rendered as SVG (safe regions included)
+//	GET /stats            server work counters and population as JSON
+//	                      (batch pipeline counters included when enabled)
+//	GET /snapshot         the monitor state as a gob snapshot (core.SaveSnapshot)
+//	GET /svg              the spatial state rendered as SVG (safe regions included)
+//	GET /metrics          Prometheus text exposition (404 until SetObs)
+//	GET /trace            Chrome trace-event JSON of recent decision events
+//	                      (load in chrome://tracing or https://ui.perfetto.dev)
+//	GET /debug/pprof/...  the standard net/http/pprof profiling surface
 //
-// All endpoints serialize through the event loop, so they observe consistent
-// state.
+// /stats, /snapshot and /svg serialize through the event loop, so they
+// observe consistent state; /metrics and /trace read lock-free snapshots and
+// never touch the loop.
 func (s *Server) AdminHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		var payload struct {
-			Objects int        `json:"objects"`
-			Queries int        `json:"queries"`
-			Clients int        `json:"clients"`
-			Stats   core.Stats `json:"stats"`
+			Objects int             `json:"objects"`
+			Queries int             `json:"queries"`
+			Clients int             `json:"clients"`
+			Stats   core.Stats      `json:"stats"`
+			Batch   *parallel.Stats `json:"batch,omitempty"`
 		}
 		if err := s.do(func() {
 			payload.Objects = s.mon.NumObjects()
 			payload.Queries = s.mon.NumQueries()
 			payload.Clients = len(s.clients)
 			payload.Stats = s.mon.Stats()
+			if s.pipe != nil {
+				bs := s.pipe.Stats()
+				payload.Batch = &bs
+			}
 		}); err != nil {
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
@@ -64,5 +77,22 @@ func (s *Server) AdminHandler() http.Handler {
 			s.logf("remote: render svg: %v", err)
 		}
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg := s.sink.Registry()
+		if reg == nil {
+			http.Error(w, "metrics disabled (no observability sink attached)", http.StatusNotFound)
+			return
+		}
+		reg.ServeHTTP(w, r)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		// A nil tracer answers 404 itself.
+		s.sink.Tracer().ServeHTTP(w, r)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }

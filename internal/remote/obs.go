@@ -1,0 +1,77 @@
+package remote
+
+import (
+	"time"
+
+	"srb/internal/obs"
+)
+
+// srvObs holds the server's bound instruments. The event loop pays one nil
+// check per request when observability is off; with a sink attached it
+// records per-request latency by kind, the size of each coalesced update
+// batch, the live client population, and the request queue depth.
+type srvObs struct {
+	tr *obs.Tracer
+
+	clients       *obs.Gauge
+	updateSeconds *obs.Histogram
+	opSeconds     *obs.Histogram
+	batchSize     *obs.Histogram
+}
+
+// SetObs attaches an observability sink to the server and everything it
+// hosts: the core monitor, the batch pipeline (current and any created later
+// by SetWorkers), and the server's own event-loop instruments. Must be called
+// before Serve; nil detaches.
+func (s *Server) SetObs(sink *obs.Sink) {
+	if sink == nil || (sink.Registry() == nil && sink.Tracer() == nil) {
+		s.sink = nil
+		s.obs = nil
+		s.mon.SetObs(nil)
+		if s.pipe != nil {
+			s.pipe.SetObs(nil)
+		}
+		return
+	}
+	s.sink = sink
+	s.mon.SetObs(sink)
+	if s.pipe != nil {
+		s.pipe.SetObs(sink)
+	}
+	r := sink.Registry()
+	o := &srvObs{tr: sink.Tracer()}
+	o.clients = r.Gauge("srb_server_clients", "Connected mobile clients.")
+	help := "Event-loop request latency by kind (update batch or other operation)."
+	o.updateSeconds = r.Histogram("srb_server_request_seconds", help, obs.LatencyBuckets(), "kind", "update")
+	o.opSeconds = r.Histogram("srb_server_request_seconds", help, obs.LatencyBuckets(), "kind", "op")
+	o.batchSize = r.Histogram("srb_server_batch_size", "Location updates coalesced per event-loop batch.", obs.SizeBuckets())
+	// Channel length is safe to read from the scrape goroutine.
+	r.GaugeFunc("srb_server_queue_depth", "Requests waiting in the event-loop queue.", func() float64 {
+		return float64(len(s.reqs))
+	})
+	s.obs = o
+}
+
+// noteClients refreshes the client-population gauge; runs on the event loop.
+func (s *Server) noteClients() {
+	if s.obs != nil {
+		s.obs.clients.Set(float64(len(s.clients)))
+	}
+}
+
+// noteOp records a non-update event-loop request.
+func (s *Server) noteOp(t0 time.Time) {
+	if s.obs != nil {
+		s.obs.opSeconds.ObserveSince(t0)
+	}
+}
+
+// noteBatch records one coalesced update batch: its latency, its size, and a
+// server-level trace span framing the core/pipeline spans inside it.
+func (s *Server) noteBatch(t0 time.Time, n int) {
+	if s.obs != nil {
+		s.obs.updateSeconds.ObserveSince(t0)
+		s.obs.batchSize.Observe(float64(n))
+		s.obs.tr.Span("server", "batch", t0, "updates", int64(n), "queued", int64(len(s.reqs)))
+	}
+}

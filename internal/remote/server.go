@@ -15,6 +15,7 @@ import (
 
 	"srb/internal/core"
 	"srb/internal/geom"
+	"srb/internal/obs"
 	"srb/internal/parallel"
 	"srb/internal/query"
 	"srb/internal/wire"
@@ -38,6 +39,9 @@ type Server struct {
 	ln   net.Listener
 	reqs chan request
 	done chan struct{}
+
+	sink *obs.Sink // attached observability, nil when off
+	obs  *srvObs
 
 	// State below is owned by the event loop goroutine.
 	clients map[uint64]*clientConn
@@ -116,6 +120,9 @@ func (s *Server) SetLogf(f func(string, ...interface{})) {
 func (s *Server) SetWorkers(n int) {
 	if n > 0 {
 		s.pipe = parallel.New(s.mon, n)
+		if s.sink != nil {
+			s.pipe.SetObs(s.sink)
+		}
 	} else {
 		s.pipe = nil
 	}
@@ -167,8 +174,13 @@ func (s *Server) loop() {
 // becomes one pipeline batch; draining stops at the first non-update request
 // to preserve FIFO order with respect to registrations and disconnects.
 func (s *Server) dispatch(r request) {
+	var t0 time.Time
+	if s.obs != nil {
+		t0 = time.Now()
+	}
 	if r.fn != nil {
 		r.fn()
+		s.noteOp(t0)
 		return
 	}
 	conns := []*clientConn{r.c}
@@ -189,8 +201,14 @@ drain:
 		}
 	}
 	s.applyUpdates(conns, pts)
+	s.noteBatch(t0, len(conns))
 	if after != nil {
+		var ta time.Time
+		if s.obs != nil {
+			ta = time.Now()
+		}
 		after.fn()
+		s.noteOp(ta)
 	}
 }
 
@@ -321,6 +339,7 @@ func (s *Server) serveClient(conn net.Conn, codec *wire.Codec, hello wire.Messag
 	}
 	if err := enqueue(request{fn: func() {
 		s.clients[c.obj] = c
+		s.noteClients()
 		c.lastPos = hello.Point()
 		s.dispatchRegions(c.obj, s.mon.AddObject(c.obj, hello.Point()))
 	}}); err != nil {
@@ -329,6 +348,7 @@ func (s *Server) serveClient(conn net.Conn, codec *wire.Codec, hello wire.Messag
 	defer func() {
 		_ = enqueue(request{fn: func() {
 			delete(s.clients, c.obj)
+			s.noteClients()
 			s.mon.RemoveObject(c.obj)
 		}})
 	}()

@@ -11,6 +11,7 @@ import (
 
 	"srb/internal/core"
 	"srb/internal/geom"
+	"srb/internal/obs"
 )
 
 // Config describes one simulation run. The zero value is not usable; start
@@ -72,6 +73,28 @@ type Config struct {
 	Mobility string
 	// Space is the monitored region.
 	Space geom.Rect
+	// ProgressEvery, when positive, emits a Progress snapshot roughly every
+	// that many simulated time units (aligned to the accuracy sampling grid,
+	// since accuracy only changes at sample instants). SRB scheme only.
+	ProgressEvery float64
+	// Progress receives the periodic snapshots; ignored unless ProgressEvery
+	// is positive.
+	Progress func(Progress)
+	// Obs, when non-nil, attaches this observability sink to the SRB scheme's
+	// monitor and batch pipeline, so a long simulation can be scraped and
+	// traced like a live server.
+	Obs *obs.Sink
+}
+
+// Progress is one periodic snapshot of a running SRB simulation: the running
+// accuracy and communication counters up to simulated time T.
+type Progress struct {
+	T        float64
+	Scheme   string
+	Accuracy float64 // running fraction of correct (query, sample) pairs
+	Updates  int64   // source-initiated updates so far
+	Probes   int64   // server-initiated probes so far
+	CommCost float64 // Cl·Updates + Cp·Probes so far
 }
 
 // Default returns a configuration scaled down from Table 7.1 so that full

@@ -78,9 +78,11 @@ func RunSRB(cfg Config) Result {
 	mon := core.New(cfg.coreOptions(), core.ProberFunc(func(id uint64) geom.Point {
 		return curs[id].At(serverNow)
 	}), nil)
+	mon.SetObs(cfg.Obs)
 	var pipe *parallel.Pipeline
 	if cfg.BatchWorkers > 0 {
 		pipe = parallel.New(mon, cfg.BatchWorkers)
+		pipe.SetObs(cfg.Obs)
 	}
 
 	clients := make([]srbClient, cfg.N)
@@ -169,6 +171,31 @@ func RunSRB(cfg Config) Result {
 	var okSamples, totalSamples int64
 	var updates int64
 
+	// Progress snapshots ride the sampling grid: accuracy only changes at
+	// sample instants, so finer emission would report stale numbers.
+	nextProgress := cfg.ProgressEvery
+	emitProgress := func(t float64) {
+		if cfg.ProgressEvery <= 0 || cfg.Progress == nil || t < nextProgress {
+			return
+		}
+		for nextProgress <= t {
+			nextProgress += cfg.ProgressEvery
+		}
+		acc := 1.0
+		if totalSamples > 0 {
+			acc = float64(okSamples) / float64(totalSamples)
+		}
+		probes := mon.Stats().Probes - probesAtStart
+		cfg.Progress(Progress{
+			T:        t,
+			Scheme:   "SRB",
+			Accuracy: acc,
+			Updates:  updates,
+			Probes:   probes,
+			CommCost: cfg.Cl*float64(updates) + cfg.Cp*float64(probes),
+		})
+	}
+
 	sendUpdate := func(t float64, id uint64) {
 		if debugUpdate != nil {
 			debugUpdate(t, id)
@@ -256,6 +283,7 @@ func RunSRB(cfg Config) Result {
 			for _, c := range curs {
 				c.Trim(e.t)
 			}
+			emitProgress(e.t)
 		}
 	}
 
