@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt lint test race debug fuzz-smoke obs-smoke
+.PHONY: check build vet fmt lint test race debug fuzz-smoke obs-smoke docs
 
 check: build vet fmt lint test race debug fuzz-smoke
 
@@ -44,7 +44,15 @@ obs-smoke:
 	@mkdir -p bin
 	$(GO) build -o bin/srb-server ./cmd/srb-server
 	$(GO) build -o bin/srb-client ./cmd/srb-client
-	$(GO) run ./cmd/srb-obs-smoke -server bin/srb-server -client bin/srb-client -for 4s
+	$(GO) run ./cmd/srb-obs-smoke -server bin/srb-server -client bin/srb-client -for 10s
+
+# Documentation gate: METRICS.md must list exactly the metric families the
+# code registers, every markdown cross-reference must resolve, and vet stays
+# clean. The two tests also run under plain `make test`; this target is the
+# fast path for the CI docs job.
+docs:
+	$(GO) test -run 'TestMetricsDocMatchesRegistry|TestDocsLinksResolve' -v .
+	$(GO) vet ./...
 
 # Short fuzz runs of the geometry and R*-tree oracles plus the lint CFG
 # builder; enough to catch regressions without holding up the gate.

@@ -20,16 +20,17 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7777", "server address")
-		n        = flag.Int("n", 100, "number of mobile clients")
-		seed     = flag.Int64("seed", 1, "mobility seed")
-		speed    = flag.Float64("speed", 0.01, "mean speed v̄ per time unit")
-		period   = flag.Float64("period", 0.1, "mean constant-movement period t̄v")
-		tick     = flag.Duration("tick", 50*time.Millisecond, "wall time per simulated 0.05 time units")
-		duration = flag.Duration("for", 30*time.Second, "how long to run")
-		nRange   = flag.Int("range", 3, "range queries to register")
-		nKNN     = flag.Int("knn", 3, "kNN queries to register")
-		verbose  = flag.Bool("v", false, "print result pushes")
+		addr      = flag.String("addr", "127.0.0.1:7777", "server address")
+		n         = flag.Int("n", 100, "number of mobile clients")
+		seed      = flag.Int64("seed", 1, "mobility seed")
+		speed     = flag.Float64("speed", 0.01, "mean speed v̄ per time unit")
+		period    = flag.Float64("period", 0.1, "mean constant-movement period t̄v")
+		tick      = flag.Duration("tick", 50*time.Millisecond, "wall time per simulated 0.05 time units")
+		duration  = flag.Duration("for", 30*time.Second, "how long to run")
+		nRange    = flag.Int("range", 3, "range queries to register")
+		nKNN      = flag.Int("knn", 3, "kNN queries to register")
+		verbose   = flag.Bool("v", false, "print result pushes")
+		reconnect = flag.Bool("reconnect", false, "auto-reconnect with exponential backoff and resume the session on connection loss")
 	)
 	flag.Parse()
 
@@ -39,7 +40,7 @@ func main() {
 	walkers := make([]*mobility.Waypoint, *n)
 	for i := 0; i < *n; i++ {
 		walkers[i] = mobility.NewWaypoint(*seed, uint64(i), space, *speed, *period, starts[i])
-		c, err := remote.DialClient(*addr, uint64(i), starts[i])
+		c, err := remote.DialClientOpts(*addr, uint64(i), starts[i], remote.ClientOptions{Reconnect: *reconnect, Seed: *seed + int64(i)})
 		if err != nil {
 			log.Fatalf("dial client %d: %v", i, err)
 		}
@@ -48,7 +49,7 @@ func main() {
 	}
 	fmt.Printf("%d clients connected to %s\n", *n, *addr)
 
-	app, err := remote.DialApp(*addr)
+	app, err := remote.DialAppOpts(*addr, remote.AppOptions{Reconnect: *reconnect, Seed: *seed})
 	if err != nil {
 		log.Fatalf("dial app: %v", err)
 	}
@@ -98,11 +99,17 @@ func main() {
 	_ = app.Close() // closes Updates(), letting the drain goroutine finish
 	<-drained
 
-	var updates, probes int64
+	var updates, probes, reconnects int64
 	for _, c := range clients {
 		u, p := c.Stats()
 		updates += u
 		probes += p
+		reconnects += c.Reconnects()
 	}
-	fmt.Printf("done: %d updates sent, %d probes answered over %.1f time units\n", updates, probes, t)
+	reconnects += app.Reconnects()
+	fmt.Printf("done: %d updates sent, %d probes answered, %d reconnects over %.1f time units\n",
+		updates, probes, reconnects, t)
+	if d := app.Dropped(); d > 0 {
+		fmt.Printf("app client dropped %d result pushes on backpressure\n", d)
+	}
 }

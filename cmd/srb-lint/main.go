@@ -2,7 +2,8 @@
 // internal/analysis over the module: floatcmp (exact float comparison),
 // lockreentry (mutex re-entry and prober callbacks), sliceescape (internal
 // slices escaping without a copy), bareGoroutine (untracked goroutines in
-// cmd/ and internal/remote), and the flow-sensitive v2 checks built on the
+// cmd/ and internal/remote), missingdoc (undocumented packages or exported
+// declarations), and the flow-sensitive v2 checks built on the
 // CFG/dataflow engine: lockorder (cross-package lock-acquisition-order
 // cycles), errdrop (error values lost along some path), ctxdeadline
 // (blocking wire operations reachable without a deadline) and distunits

@@ -1,9 +1,13 @@
 // Command srb-obs-smoke is the observability smoke gate: it starts a real
-// srb-server with metrics enabled, drives a short srb-client workload against
-// it, scrapes /metrics, and fails (exit 1) unless the exposition parses and
-// every required metric family is present with moving counters. It also pulls
-// /trace and /stats to check the rest of the admin surface. CI runs it via
-// `make obs-smoke`; it needs no tools beyond the two freshly built binaries.
+// srb-server with metrics and persistence enabled, drives a short srb-client
+// workload against it, SIGKILLs the server mid-run, restarts it with
+// -recover, and lets the auto-reconnecting clients resume. It fails (exit 1)
+// unless the /metrics exposition parses, every required metric family is
+// present, the workload counters move, and the fault-tolerance families
+// (journal, replay, reconnect, region re-push) prove the crash-recovery
+// cycle actually happened. It also pulls /trace and /stats to check the rest
+// of the admin surface. CI runs it via `make obs-smoke`; it needs no tools
+// beyond the two freshly built binaries.
 package main
 
 import (
@@ -41,13 +45,24 @@ var requiredFamilies = []string{
 	"srb_server_queue_depth",
 	"srb_server_request_seconds",
 	"srb_server_batch_size",
+	// fault tolerance: sessions, persistence, chaos (registered eagerly, so
+	// the families exist even when the subsystem idles at zero)
+	"srb_server_reconnects_total",
+	"srb_server_lease_expiries_total",
+	"srb_server_region_repush_total",
+	"srb_server_region_send_failures_total",
+	"srb_server_journal_entries_total",
+	"srb_server_snapshot_seconds",
+	"srb_server_replay_seconds",
+	"srb_server_replay_entries",
+	"srb_server_chaos_faults_total",
 }
 
 func main() {
 	var (
 		serverBin = flag.String("server", "bin/srb-server", "path to the srb-server binary")
 		clientBin = flag.String("client", "bin/srb-client", "path to the srb-client binary")
-		runFor    = flag.Duration("for", 4*time.Second, "client workload duration")
+		runFor    = flag.Duration("for", 10*time.Second, "client workload duration")
 	)
 	flag.Parse()
 	if err := run(*serverBin, *clientBin, *runFor); err != nil {
@@ -68,6 +83,35 @@ func freePort() (int, error) {
 	return l.Addr().(*net.TCPAddr).Port, nil
 }
 
+// waitAdmin polls the admin endpoint until it answers or the deadline hits.
+func waitAdmin(adminURL string) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(adminURL + "/stats")
+		if err == nil {
+			resp.Body.Close()
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("admin endpoint never came up: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// famSum sums every sample of a counter or gauge family (labeled series
+// included); 0 when the family is absent.
+func famSum(f *obs.ParsedFamily) float64 {
+	if f == nil {
+		return 0
+	}
+	var sum float64
+	for _, v := range f.Samples {
+		sum += v
+	}
+	return sum
+}
+
 func run(serverBin, clientBin string, runFor time.Duration) error {
 	srvPort, err := freePort()
 	if err != nil {
@@ -79,9 +123,21 @@ func run(serverBin, clientBin string, runFor time.Duration) error {
 	}
 	srvAddr := "127.0.0.1:" + strconv.Itoa(srvPort)
 	adminURL := "http://127.0.0.1:" + strconv.Itoa(adminPort)
+	persistDir, err := os.MkdirTemp("", "srb-obs-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(persistDir)
 
-	server := exec.Command(serverBin,
-		"-addr", srvAddr, "-admin", "127.0.0.1:"+strconv.Itoa(adminPort), "-workers", "2")
+	serverArgs := func(extra ...string) []string {
+		return append([]string{
+			"-addr", srvAddr, "-admin", "127.0.0.1:" + strconv.Itoa(adminPort),
+			"-workers", "2", "-lease", "30s", "-persist", persistDir,
+		}, extra...)
+	}
+	// First life journals without snapshotting, so the restart is guaranteed
+	// a journal tail to replay.
+	server := exec.Command(serverBin, serverArgs("-snapshot-every", "0")...)
 	server.Stdout = os.Stdout
 	server.Stderr = os.Stderr
 	if err := server.Start(); err != nil {
@@ -91,19 +147,8 @@ func run(serverBin, clientBin string, runFor time.Duration) error {
 		_ = server.Process.Kill()
 		_ = server.Wait()
 	}()
-
-	// Wait for the admin endpoint to come up.
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		resp, err := http.Get(adminURL + "/stats")
-		if err == nil {
-			resp.Body.Close()
-			break
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("admin endpoint never came up: %v", err)
-		}
-		time.Sleep(100 * time.Millisecond)
+	if err := waitAdmin(adminURL); err != nil {
+		return err
 	}
 
 	before, err := scrape(adminURL)
@@ -113,16 +158,70 @@ func run(serverBin, clientBin string, runFor time.Duration) error {
 
 	client := exec.Command(clientBin,
 		"-addr", srvAddr, "-n", "40", "-range", "2", "-knn", "2",
-		"-speed", "0.05", "-tick", "20ms", "-for", runFor.String())
+		"-speed", "0.05", "-tick", "20ms", "-reconnect", "-for", runFor.String())
 	client.Stdout = os.Stdout
 	client.Stderr = os.Stderr
-	if err := client.Run(); err != nil {
+	if err := client.Start(); err != nil {
+		return fmt.Errorf("start client workload: %w", err)
+	}
+	defer func() {
+		_ = client.Process.Kill()
+		_ = client.Wait()
+	}()
+
+	// Let the workload run on the first server life, then check it moved.
+	time.Sleep(runFor * 3 / 8)
+	mid, err := scrape(adminURL)
+	if err != nil {
+		return fmt.Errorf("mid-run scrape: %w", err)
+	}
+	for _, counter := range []string{"srb_updates_total", "srb_reevaluations_total"} {
+		if mid[counter] == nil || before[counter] == nil {
+			return fmt.Errorf("counter %s missing from scrape", counter)
+		}
+		b := before[counter].Samples[counter]
+		a := mid[counter].Samples[counter]
+		if a <= b {
+			return fmt.Errorf("%s did not move under workload: %g -> %g", counter, b, a)
+		}
+	}
+	if n := famSum(mid["srb_server_journal_entries_total"]); n <= 0 {
+		return fmt.Errorf("journal recorded no entries under workload (-persist broken?)")
+	}
+
+	// Crash the server — SIGKILL, no goodbyes — and restart it with
+	// -recover on the same ports. The -reconnect clients resume onto the
+	// recovered monitor while the rest of the workload plays out.
+	_ = server.Process.Kill()
+	_ = server.Wait()
+	server = exec.Command(serverBin, serverArgs("-snapshot-every", "1s", "-recover")...)
+	server.Stdout = os.Stdout
+	server.Stderr = os.Stderr
+	if err := server.Start(); err != nil {
+		return fmt.Errorf("restart server: %w", err)
+	}
+	if err := waitAdmin(adminURL); err != nil {
+		return fmt.Errorf("after restart: %w", err)
+	}
+	if err := client.Wait(); err != nil {
 		return fmt.Errorf("client workload: %w", err)
 	}
 
 	after, err := scrape(adminURL)
 	if err != nil {
 		return fmt.Errorf("final scrape: %w", err)
+	}
+	// The fault-tolerance families must prove the cycle happened end to end:
+	// the restart replayed the journal, the clients resumed their sessions,
+	// and resuming re-pushed their safe regions.
+	if n := famSum(after["srb_server_replay_entries"]); n <= 0 {
+		return fmt.Errorf("-recover replayed no journal entries")
+	}
+	if n := famSum(after["srb_server_reconnects_total"]); n <= 0 {
+		return fmt.Errorf("no client reconnects recorded after the restart")
+	}
+	if n := famSum(after["srb_server_region_repush_total"]); n <= 0 {
+		return fmt.Errorf("no safe regions re-pushed to resumed sessions")
 	}
 	for _, fam := range requiredFamilies {
 		f := after[fam]

@@ -12,7 +12,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"time"
 
+	"srb/internal/chaos"
 	"srb/internal/core"
 	"srb/internal/geom"
 	"srb/internal/obs"
@@ -21,15 +23,20 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:7777", "listen address")
-		gridM      = flag.Int("grid", 50, "query index grid resolution M")
-		maxSpeed   = flag.Float64("maxspeed", 0, "max object speed; >0 enables the reachability circle (§6.1)")
-		steadiness = flag.Float64("steadiness", 0, "steady-movement parameter D in [0,1] (§6.2)")
-		neighbor   = flag.Int("cellneighborhood", 0, "adaptive safe-region cell radius (§7.4 extension)")
-		workers    = flag.Int("workers", 0, "batch update pipeline worker count; 0 disables batching")
-		admin      = flag.String("admin", "", "optional HTTP admin address (/stats, /snapshot, /svg, /metrics, /trace, /debug/pprof)")
-		obsOn      = flag.Bool("obs", true, "attach metrics and tracing when -admin is set")
-		traceBuf   = flag.Int("tracebuf", obs.DefaultTraceDepth, "decision-trace ring size (events retained for /trace)")
+		addr        = flag.String("addr", "127.0.0.1:7777", "listen address")
+		gridM       = flag.Int("grid", 50, "query index grid resolution M")
+		maxSpeed    = flag.Float64("maxspeed", 0, "max object speed; >0 enables the reachability circle (§6.1)")
+		steadiness  = flag.Float64("steadiness", 0, "steady-movement parameter D in [0,1] (§6.2)")
+		neighbor    = flag.Int("cellneighborhood", 0, "adaptive safe-region cell radius (§7.4 extension)")
+		workers     = flag.Int("workers", 0, "batch update pipeline worker count; 0 disables batching")
+		admin       = flag.String("admin", "", "optional HTTP admin address (/stats, /snapshot, /svg, /metrics, /trace, /debug/pprof)")
+		obsOn       = flag.Bool("obs", true, "attach metrics and tracing when -admin is set")
+		traceBuf    = flag.Int("tracebuf", obs.DefaultTraceDepth, "decision-trace ring size (events retained for /trace)")
+		chaosSpec   = flag.String("chaos", "", "fault-injection spec applied to every connection, e.g. drop=0.01,dup=0.005,delay=5ms,delayrate=0.1,sever=0.001,seed=7")
+		lease       = flag.Duration("lease", 0, "session lease: how long a disconnected client's object survives for resume; 0 removes it immediately")
+		persistDir  = flag.String("persist", "", "directory for the crash-recovery snapshot + journal; empty disables persistence")
+		snapEvery   = flag.Duration("snapshot-every", 30*time.Second, "periodic snapshot interval when -persist is set; 0 journals without snapshotting")
+		recoverFlag = flag.Bool("recover", false, "replay the -persist directory's snapshot + journal before serving")
 	)
 	flag.Parse()
 
@@ -49,8 +56,33 @@ func main() {
 		s.SetObs(obs.NewSink(reg, obs.NewTracer(*traceBuf)))
 	}
 	s.SetWorkers(*workers)
-	fmt.Printf("srb-server listening on %s (M=%d, maxspeed=%g, D=%g, workers=%d)\n",
-		s.Addr(), *gridM, *maxSpeed, *steadiness, *workers)
+	s.SetLease(*lease)
+	if *chaosSpec != "" {
+		cfg, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			log.Fatalf("-chaos: %v", err)
+		}
+		s.SetChaos(chaos.NewInjector(cfg, cfg))
+		fmt.Printf("chaos enabled: %s\n", *chaosSpec)
+	}
+	if *recoverFlag {
+		if *persistDir == "" {
+			log.Fatal("-recover requires -persist")
+		}
+		rs, err := s.Recover(*persistDir)
+		if err != nil {
+			log.Fatalf("recover: %v", err)
+		}
+		fmt.Printf("recovered from %s: %d journal entries replayed (last seq %d)\n", *persistDir, rs.Entries, rs.LastSeq)
+	}
+	if *persistDir != "" {
+		if err := s.SetPersist(*persistDir, *snapEvery); err != nil {
+			log.Fatalf("persist: %v", err)
+		}
+		fmt.Printf("persisting to %s (snapshot every %s)\n", *persistDir, *snapEvery)
+	}
+	fmt.Printf("srb-server listening on %s (M=%d, maxspeed=%g, D=%g, workers=%d, lease=%s)\n",
+		s.Addr(), *gridM, *maxSpeed, *steadiness, *workers, *lease)
 	if *admin != "" {
 		go func() {
 			defer func() {

@@ -2,9 +2,18 @@ package srb_test
 
 import (
 	"fmt"
+	"sort"
 
 	"srb"
 )
+
+// sortedIDs returns a sorted copy: result slices preserve maintenance order,
+// which is not part of the monitoring contract.
+func sortedIDs(ids []uint64) []uint64 {
+	out := append([]uint64(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // The fundamental loop: the server grants safe regions, the client reports
 // only when it leaves its region, and results stay exact.
@@ -53,6 +62,39 @@ func Example() {
 	// west half: [1]
 	// after silent move: [1]
 	// after crossing: 2 objects
+}
+
+// A thread-safe monitor whose batch path applies a whole tick of location
+// reports at once, bit-identical to sequential ascending-ID processing.
+func ExampleParallelMonitor() {
+	positions := map[uint64]srb.Point{}
+	mon := srb.NewParallelMonitor(srb.Options{GridM: 10}, 4,
+		srb.ProberFunc(func(id uint64) srb.Point { return positions[id] }), nil)
+	for i := uint64(1); i <= 8; i++ {
+		positions[i] = srb.Pt(0.1*float64(i), 0.25)
+		mon.AddObject(i, positions[i])
+	}
+	results, _, _ := mon.RegisterRange(1, srb.R(0, 0, 0.45, 1))
+	fmt.Println("west:", sortedIDs(results))
+
+	// One GPS tick delivers several reports; UpdateBatch plans the
+	// conflict-free part on the worker pool and applies everything in
+	// ascending object-ID order.
+	batch := []srb.ObjectUpdate{
+		{ID: 2, Loc: srb.Pt(0.60, 0.30)}, // leaves the query rectangle
+		{ID: 7, Loc: srb.Pt(0.20, 0.30)}, // enters it
+		{ID: 8, Loc: srb.Pt(0.82, 0.26)}, // far from any query
+	}
+	for _, u := range batch {
+		positions[u.ID] = u.Loc
+	}
+	mon.UpdateBatch(batch)
+
+	r, _ := mon.Results(1)
+	fmt.Println("after batch:", sortedIDs(r))
+	// Output:
+	// west: [1 2 3 4]
+	// after batch: [1 3 4 7]
 }
 
 // Order-sensitive kNN monitoring returns ranked neighbor lists and keeps them

@@ -10,8 +10,9 @@
 // The analyzers themselves encode project-specific correctness rules of the
 // safe-region monitoring framework. The syntactic checks: exact float
 // comparison (floatcmp), mutex re-entry and prober callbacks (lockreentry),
-// escaping internal slices (sliceescape), and untracked goroutines
-// (bareGoroutine). The flow-sensitive checks, built on the CFG/dataflow
+// escaping internal slices (sliceescape), untracked goroutines
+// (bareGoroutine), and undocumented packages or exported declarations
+// (missingdoc). The flow-sensitive checks, built on the CFG/dataflow
 // engine in cfg.go and dataflow.go: lock-acquisition-order cycles
 // (lockorder), dropped error values (errdrop), blocking network operations
 // without a deadline (ctxdeadline), and distance vs squared-distance unit
@@ -46,6 +47,7 @@ type Diagnostic struct {
 	Suppressed bool
 }
 
+// String formats the finding as file:line:col: analyzer: message.
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
@@ -102,7 +104,7 @@ func (p *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ..
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{FloatCmp, LockReentry, SliceEscape, BareGoroutine,
-		LockOrder, ErrDrop, CtxDeadline, DistUnits}
+		MissingDoc, LockOrder, ErrDrop, CtxDeadline, DistUnits}
 }
 
 // ByName resolves a comma-separated analyzer list; empty selects all.

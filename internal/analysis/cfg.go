@@ -54,6 +54,7 @@ type Block struct {
 	Succs []*Block
 }
 
+// String renders the block index, kind and successor list for CFG dumps.
 func (b *Block) String() string {
 	succs := make([]string, len(b.Succs))
 	for i, s := range b.Succs {

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// MissingDoc enforces the documentation contract of OPERATIONS.md and
+// METRICS.md readers: every package carries a package-level doc comment, and
+// every exported top-level declaration (funcs, methods on exported receivers,
+// types, and var/const specs outside a documented group) carries a doc
+// comment. Test files are exempt, and a documented declaration group
+// (`// doc` above a parenthesized var/const/type block) covers its members.
+// The check is deliberately syntactic — a one-line `// Name does X.` passes —
+// because the gate exists to keep godoc browsable, not to grade prose.
+var MissingDoc = &Analyzer{
+	Name: "missingdoc",
+	Doc:  "flags packages and exported declarations lacking doc comments",
+	Run:  runMissingDoc,
+}
+
+func runMissingDoc(pass *Pass) {
+	// Package doc: at least one non-test file must carry it. Report at the
+	// package clause of the alphabetically first file so the finding position
+	// is stable across load orders.
+	var first *ast.File
+	var firstName string
+	hasPkgDoc := false
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if f.Doc != nil {
+			hasPkgDoc = true
+		}
+		if first == nil || name < firstName {
+			first, firstName = f, name
+		}
+	}
+	if first != nil && !hasPkgDoc {
+		pass.Reportf(first.Package, "package %s has no package-level doc comment", pass.Pkg.Name())
+	}
+
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Package).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Doc != nil || !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil && !receiverExported(d.Recv) {
+					continue
+				}
+				pass.Reportf(d.Name.Pos(), "exported %s %s has no doc comment", funcKind(d), d.Name.Name)
+			case *ast.GenDecl:
+				if d.Doc != nil {
+					continue // group doc covers every spec
+				}
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+							pass.Reportf(s.Name.Pos(), "exported type %s has no doc comment", s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						if s.Doc != nil || s.Comment != nil {
+							continue
+						}
+						names := exportedNames(s.Names)
+						if len(names) > 0 {
+							pass.Reportf(s.Names[0].Pos(), "exported %s %s has no doc comment", d.Tok, strings.Join(names, ", "))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// receiverExported reports whether a method's receiver names an exported
+// type; methods on unexported types are invisible in godoc and exempt.
+func receiverExported(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+func exportedNames(idents []*ast.Ident) []string {
+	var out []string
+	for _, id := range idents {
+		if id.IsExported() {
+			out = append(out, id.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import "testing"
+
+func TestMissingDoc(t *testing.T) {
+	pkg := loadSource(t, "srb/internal/fixture", `package fixture
+
+func Undocumented() {}
+
+// Documented does nothing, verbosely.
+func Documented() {}
+
+func unexported() {}
+
+type Exported struct{}
+
+func (Exported) Method() {}
+
+// DocType is documented.
+type DocType struct{}
+
+// Grouped declarations share the group doc.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+var Bare = 3
+
+var inert = 4
+
+type hidden struct{}
+
+func (hidden) Invisible() {} // methods on unexported types are exempt
+
+func Allowed() {} //lint:allow missingdoc exercised by the suppression test
+`)
+	// Line 1: the fixture has no package doc. A comment placed above a
+	// declaration becomes its doc comment, so suppressing missingdoc takes the
+	// trailing form (line 31).
+	wantLines(t, RunPackage(pkg, []*Analyzer{MissingDoc}), []int{1, 3, 10, 12, 23}, []int{31})
+}
+
+func TestMissingDocPackageDocSatisfies(t *testing.T) {
+	pkg := loadSource(t, "srb/internal/fixture", `// Package fixture is documented.
+package fixture
+
+// All is documented.
+func All() {}
+`)
+	wantLines(t, RunPackage(pkg, []*Analyzer{MissingDoc}), nil, nil)
+}

@@ -1,0 +1,327 @@
+// Package chaos is a deterministic fault-injection layer for the wire
+// protocol: it wraps a net.Conn and injects frame-level faults — drop,
+// duplicate, delay, and sever — independently per direction, driven by a
+// seeded random stream so every failure scenario is reproducible.
+//
+// The wire protocol (internal/wire) frames messages as newline-terminated
+// JSON, so the wrapper operates on whole frames: a dropped frame vanishes
+// without corrupting the framing of its neighbors, a duplicated frame is
+// delivered twice back to back, and a delayed frame stalls the link
+// (head-of-line, as on a real TCP connection — frames are never reordered).
+// Sever closes the underlying connection mid-stream, which is how the
+// reconnect and session-lease machinery of internal/remote gets exercised.
+//
+// An Injector is the per-listener factory: each wrapped connection draws its
+// own pair of random streams derived from the configured seed and a
+// connection counter, so a multi-client test is deterministic as long as
+// connections are established in a fixed order. Faults can be switched off at
+// runtime (SetEnabled) to let a chaos test drive the system to quiescence
+// over a clean link before checking end-state invariants.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind names an injected fault class.
+type Kind string
+
+// The injectable fault kinds.
+const (
+	KindDrop  Kind = "drop"
+	KindDup   Kind = "dup"
+	KindDelay Kind = "delay"
+	KindSever Kind = "sever"
+)
+
+// Dir names a fault direction relative to the wrapped endpoint: "in" faults
+// frames read from the peer, "out" faults frames written to it.
+type Dir string
+
+// The fault directions.
+const (
+	DirIn  Dir = "in"
+	DirOut Dir = "out"
+)
+
+// Config sets the per-frame fault probabilities of one direction of a
+// wrapped connection. The zero value injects nothing.
+type Config struct {
+	// Seed selects the deterministic random stream. Connections wrapped by
+	// the same Injector derive distinct per-connection streams from it.
+	Seed int64
+	// Drop is the probability that a frame is silently discarded.
+	Drop float64
+	// Dup is the probability that a frame is delivered twice.
+	Dup float64
+	// DelayRate is the probability that a frame (and everything behind it)
+	// is delayed by Delay before delivery.
+	DelayRate float64
+	// Delay is the stall applied to delayed frames.
+	Delay time.Duration
+	// Sever is the probability, evaluated after each frame, that the whole
+	// connection is torn down.
+	Sever float64
+}
+
+// Active reports whether the configuration injects any fault at all.
+func (c Config) Active() bool {
+	return c.Drop > 0 || c.Dup > 0 || (c.DelayRate > 0 && c.Delay > 0) || c.Sever > 0
+}
+
+// ParseSpec parses a comma-separated fault specification, e.g.
+//
+//	drop=0.01,dup=0.005,delay=5ms,delayrate=0.1,sever=0.001,seed=7
+//
+// Unknown keys are rejected. The resulting Config applies to both directions
+// when handed to NewInjector via NewInjectorSpec-style symmetric use.
+func ParseSpec(spec string) (Config, error) {
+	var c Config
+	if strings.TrimSpace(spec) == "" {
+		return c, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+		if len(parts) != 2 {
+			return c, fmt.Errorf("chaos: malformed field %q (want key=value)", kv)
+		}
+		key, val := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+		var err error
+		switch key {
+		case "drop":
+			c.Drop, err = strconv.ParseFloat(val, 64)
+		case "dup":
+			c.Dup, err = strconv.ParseFloat(val, 64)
+		case "delayrate":
+			c.DelayRate, err = strconv.ParseFloat(val, 64)
+		case "delay":
+			c.Delay, err = time.ParseDuration(val)
+		case "sever":
+			c.Sever, err = strconv.ParseFloat(val, 64)
+		case "seed":
+			c.Seed, err = strconv.ParseInt(val, 10, 64)
+		default:
+			return c, fmt.Errorf("chaos: unknown field %q", key)
+		}
+		if err != nil {
+			return c, fmt.Errorf("chaos: field %q: %v", key, err)
+		}
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"drop", c.Drop}, {"dup", c.Dup}, {"delayrate", c.DelayRate}, {"sever", c.Sever}} {
+		if p.v < 0 || p.v > 1 {
+			return c, fmt.Errorf("chaos: %s=%g out of [0,1]", p.name, p.v)
+		}
+	}
+	return c, nil
+}
+
+// Injector wraps connections with fault-injecting lanes. It is safe for
+// concurrent use by an accept loop.
+type Injector struct {
+	in, out Config
+	conns   atomic.Int64
+	enabled atomic.Bool
+	onFault atomic.Value // func(Dir, Kind)
+}
+
+// NewInjector creates an enabled injector with separate configurations for
+// the inbound (frames read) and outbound (frames written) directions.
+func NewInjector(in, out Config) *Injector {
+	j := &Injector{in: in, out: out}
+	j.enabled.Store(true)
+	return j
+}
+
+// SetEnabled switches fault injection on or off at runtime. Wrapped
+// connections keep flowing either way; with injection off they behave as a
+// clean link, which lets tests drive the system to quiescence.
+func (j *Injector) SetEnabled(on bool) { j.enabled.Store(on) }
+
+// OnFault installs a callback invoked on every injected fault (for metrics).
+// The callback must be safe for concurrent use.
+func (j *Injector) OnFault(fn func(Dir, Kind)) {
+	if fn != nil {
+		j.onFault.Store(fn)
+	}
+}
+
+func (j *Injector) note(d Dir, k Kind) {
+	if fn, ok := j.onFault.Load().(func(Dir, Kind)); ok {
+		fn(d, k)
+	}
+}
+
+// Wrap returns conn with this injector's faults applied. Each call derives a
+// fresh pair of per-direction random streams, so connection k of a run sees
+// the same fault schedule in every execution with the same seeds.
+func (j *Injector) Wrap(conn net.Conn) net.Conn {
+	n := j.conns.Add(1)
+	c := &faultConn{Conn: conn, inj: j}
+	// Distinct odd multipliers keep the two directions' streams uncorrelated
+	// even when the same seed configures both.
+	c.in = newLane(j.in, j.in.Seed+n*2654435761, DirIn, c)
+	c.out = newLane(j.out, j.out.Seed+n*40503*2654435761+1, DirOut, c)
+	return c
+}
+
+// faultConn is one wrapped connection. The wire codec contract — one reader
+// goroutine, one writer goroutine — carries over: Read and Write may run
+// concurrently with each other but each side has a single user.
+type faultConn struct {
+	net.Conn
+	inj       *Injector
+	in, out   *lane
+	severed   atomic.Bool
+	closeOnce sync.Once
+}
+
+// sever tears the connection down as an injected fault.
+func (c *faultConn) sever(d Dir) {
+	c.severed.Store(true)
+	c.inj.note(d, KindSever)
+	c.closeOnce.Do(func() { _ = c.Conn.Close() })
+}
+
+// Close closes the underlying connection once.
+func (c *faultConn) Close() error {
+	var err error
+	c.closeOnce.Do(func() { err = c.Conn.Close() })
+	return err
+}
+
+// Write faults complete frames on their way out. Partial frames (no final
+// newline yet) are buffered until completed.
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.severed.Load() {
+		return 0, fmt.Errorf("chaos: connection severed")
+	}
+	if !c.inj.enabled.Load() && len(c.out.pending) == 0 {
+		return c.Conn.Write(p)
+	}
+	// Report len(p) on success: faults are transparent to the caller.
+	if err := c.out.write(p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Read delivers faulted inbound frames.
+func (c *faultConn) Read(p []byte) (int, error) {
+	return c.in.read(p)
+}
+
+// lane applies one direction's fault schedule. A lane is used by a single
+// goroutine (the codec's reader or writer side).
+type lane struct {
+	cfg  Config
+	rng  *rand.Rand
+	dir  Dir
+	conn *faultConn
+
+	pending []byte // partial frame awaiting its newline (write lane)
+	queue   []byte // surviving bytes awaiting delivery (read lane)
+	raw     []byte // read scratch buffer
+	rawPart []byte // partial inbound frame
+}
+
+func newLane(cfg Config, seed int64, dir Dir, conn *faultConn) *lane {
+	return &lane{cfg: cfg, rng: rand.New(rand.NewSource(seed)), dir: dir, conn: conn, raw: make([]byte, 4096)}
+}
+
+// judge rolls the fault schedule for one frame. It returns the number of
+// copies to deliver (0 = drop, 2 = duplicate) and whether to sever after.
+func (l *lane) judge() (copies int, sever bool) {
+	copies = 1
+	if !l.conn.inj.enabled.Load() || !l.cfg.Active() {
+		return copies, false
+	}
+	if l.cfg.Drop > 0 && l.rng.Float64() < l.cfg.Drop {
+		l.conn.inj.note(l.dir, KindDrop)
+		copies = 0
+	} else if l.cfg.Dup > 0 && l.rng.Float64() < l.cfg.Dup {
+		l.conn.inj.note(l.dir, KindDup)
+		copies = 2
+	}
+	if copies > 0 && l.cfg.DelayRate > 0 && l.cfg.Delay > 0 && l.rng.Float64() < l.cfg.DelayRate {
+		l.conn.inj.note(l.dir, KindDelay)
+		time.Sleep(l.cfg.Delay)
+	}
+	sever = l.cfg.Sever > 0 && l.rng.Float64() < l.cfg.Sever
+	return copies, sever
+}
+
+// write consumes outbound bytes, faulting each completed frame.
+func (l *lane) write(p []byte) error {
+	l.pending = append(l.pending, p...)
+	for {
+		nl := bytes.IndexByte(l.pending, '\n')
+		if nl < 0 {
+			return nil
+		}
+		frame := l.pending[:nl+1]
+		copies, sever := l.judge()
+		for i := 0; i < copies; i++ {
+			if _, err := l.conn.Conn.Write(frame); err != nil {
+				return err
+			}
+		}
+		l.pending = append(l.pending[:0], l.pending[nl+1:]...)
+		if sever {
+			l.conn.sever(l.dir)
+			return fmt.Errorf("chaos: connection severed")
+		}
+	}
+}
+
+// read fills p from the surviving-frame queue, pulling and faulting more
+// inbound frames as needed.
+func (l *lane) read(p []byte) (int, error) {
+	for len(l.queue) == 0 {
+		n, err := l.conn.Conn.Read(l.raw)
+		if n > 0 {
+			l.ingest(l.raw[:n])
+		}
+		if err != nil {
+			// Deliver surviving bytes before surfacing the error.
+			if len(l.queue) > 0 {
+				break
+			}
+			return 0, err
+		}
+	}
+	n := copy(p, l.queue)
+	l.queue = append(l.queue[:0], l.queue[n:]...)
+	return n, nil
+}
+
+// ingest splits raw inbound bytes into frames and applies the schedule.
+func (l *lane) ingest(b []byte) {
+	l.rawPart = append(l.rawPart, b...)
+	for {
+		nl := bytes.IndexByte(l.rawPart, '\n')
+		if nl < 0 {
+			return
+		}
+		frame := l.rawPart[:nl+1]
+		copies, sever := l.judge()
+		for i := 0; i < copies; i++ {
+			l.queue = append(l.queue, frame...)
+		}
+		l.rawPart = append(l.rawPart[:0], l.rawPart[nl+1:]...)
+		if sever {
+			l.conn.sever(l.dir)
+			return
+		}
+	}
+}

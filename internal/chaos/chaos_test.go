@@ -1,0 +1,204 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"srb/internal/wire"
+)
+
+// pipePair returns a connected pair with faults applied to the a-side.
+func pipePair(t *testing.T, j *Injector) (a net.Conn, b net.Conn) {
+	t.Helper()
+	pa, pb := net.Pipe()
+	t.Cleanup(func() { _ = pa.Close(); _ = pb.Close() })
+	return j.Wrap(pa), pb
+}
+
+// collect reads frames from c until it errors, returning the payloads seen.
+func collect(c net.Conn) []string {
+	codec := wire.NewCodec(c)
+	var got []string
+	for {
+		m, err := codec.Recv()
+		if err != nil {
+			return got
+		}
+		got = append(got, m.Err)
+	}
+}
+
+func sendN(t *testing.T, c net.Conn, n int) {
+	t.Helper()
+	codec := wire.NewCodec(c)
+	for i := 0; i < n; i++ {
+		if err := codec.Send(wire.Message{Type: wire.TError, Err: fmt.Sprintf("f%04d", i)}); err != nil {
+			return
+		}
+	}
+}
+
+func TestCleanPassThrough(t *testing.T) {
+	j := NewInjector(Config{}, Config{})
+	a, b := pipePair(t, j)
+	done := make(chan []string, 1)
+	go func() { done <- collect(b) }()
+	sendN(t, a, 50)
+	_ = a.Close()
+	got := <-done
+	if len(got) != 50 {
+		t.Fatalf("clean link delivered %d/50 frames", len(got))
+	}
+	for i, s := range got {
+		if s != fmt.Sprintf("f%04d", i) {
+			t.Fatalf("frame %d = %q, out of order", i, s)
+		}
+	}
+}
+
+func TestDropAndDupDeterministic(t *testing.T) {
+	run := func() []string {
+		j := NewInjector(Config{}, Config{Seed: 42, Drop: 0.3, Dup: 0.2})
+		a, b := pipePair(t, j)
+		done := make(chan []string, 1)
+		go func() { done <- collect(b) }()
+		sendN(t, a, 200)
+		_ = a.Close()
+		return <-done
+	}
+	first := run()
+	if len(first) == 200 || len(first) == 0 {
+		t.Fatalf("drop/dup schedule delivered %d/200 frames, faults not applied", len(first))
+	}
+	// Drops must exist, duplicates must exist.
+	seen := map[string]int{}
+	for _, s := range first {
+		seen[s]++
+	}
+	dups := 0
+	for _, n := range seen {
+		if n == 2 {
+			dups++
+		}
+	}
+	if dups == 0 {
+		t.Fatal("no duplicated frame in 200 with dup=0.2")
+	}
+	if len(seen) == 200 {
+		t.Fatal("no dropped frame in 200 with drop=0.3")
+	}
+	second := run()
+	if strings.Join(first, ",") != strings.Join(second, ",") {
+		t.Fatal("same seed produced different surviving-frame sequences")
+	}
+}
+
+func TestOrderPreserved(t *testing.T) {
+	j := NewInjector(Config{}, Config{Seed: 7, Drop: 0.2, Dup: 0.2, DelayRate: 0.05, Delay: time.Millisecond})
+	a, b := pipePair(t, j)
+	done := make(chan []string, 1)
+	go func() { done <- collect(b) }()
+	sendN(t, a, 300)
+	_ = a.Close()
+	got := <-done
+	last := -1
+	for _, s := range got {
+		var i int
+		if _, err := fmt.Sscanf(s, "f%d", &i); err != nil {
+			t.Fatalf("bad frame %q", s)
+		}
+		if i < last {
+			t.Fatalf("frame %d delivered after %d: reordering", i, last)
+		}
+		last = i
+	}
+}
+
+func TestSeverClosesBothDirections(t *testing.T) {
+	j := NewInjector(Config{}, Config{Seed: 3, Sever: 0.05})
+	a, b := pipePair(t, j)
+	var faults []string
+	var mu sync.Mutex
+	j.OnFault(func(d Dir, k Kind) {
+		mu.Lock()
+		faults = append(faults, string(d)+"/"+string(k))
+		mu.Unlock()
+	})
+	done := make(chan []string, 1)
+	go func() { done <- collect(b) }()
+	codec := wire.NewCodec(a)
+	var sendErr error
+	for i := 0; i < 1000 && sendErr == nil; i++ {
+		sendErr = codec.Send(wire.Message{Type: wire.TError, Err: "x"})
+	}
+	if sendErr == nil {
+		t.Fatal("1000 frames with sever=0.05 never severed")
+	}
+	got := <-done // peer's read loop must terminate
+	if len(got) == 0 {
+		t.Fatal("no frame delivered before sever")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	found := false
+	for _, f := range faults {
+		if f == "out/sever" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("OnFault did not record the sever; got %v", faults)
+	}
+}
+
+func TestInboundFaults(t *testing.T) {
+	j := NewInjector(Config{Seed: 9, Drop: 0.5}, Config{})
+	a, b := pipePair(t, j) // a reads through the faulted lane
+	done := make(chan []string, 1)
+	go func() { done <- collect(a) }()
+	sendN(t, b, 200)
+	_ = b.Close()
+	got := <-done
+	if len(got) == 0 || len(got) >= 200 {
+		t.Fatalf("inbound drop=0.5 delivered %d/200", len(got))
+	}
+}
+
+func TestSetEnabledQuiesces(t *testing.T) {
+	j := NewInjector(Config{}, Config{Seed: 5, Drop: 1})
+	j.SetEnabled(false)
+	a, b := pipePair(t, j)
+	done := make(chan []string, 1)
+	go func() { done <- collect(b) }()
+	sendN(t, a, 20)
+	_ = a.Close()
+	if got := <-done; len(got) != 20 {
+		t.Fatalf("disabled injector delivered %d/20", len(got))
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	c, err := ParseSpec("drop=0.01,dup=0.005,delay=5ms,delayrate=0.1,sever=0.001,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Drop != 0.01 || c.Dup != 0.005 || c.Delay != 5*time.Millisecond ||
+		c.DelayRate != 0.1 || c.Sever != 0.001 || c.Seed != 7 {
+		t.Fatalf("parsed %+v", c)
+	}
+	if !c.Active() {
+		t.Fatal("parsed config should be active")
+	}
+	if c, err := ParseSpec(""); err != nil || c.Active() {
+		t.Fatalf("empty spec: %v %+v", err, c)
+	}
+	for _, bad := range []string{"drop=2", "nope=1", "drop", "sever=-0.1", "delay=xyz"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}

@@ -293,7 +293,7 @@ func (m *Monitor) RemoveObject(id uint64) []SafeRegionUpdate {
 			continue
 		}
 		switch q.Kind {
-		case query.KindRange:
+		case query.KindRange, query.KindCircle:
 			m.removeResultID(q, id)
 			m.publish(q)
 		case query.KindKNN:

@@ -11,8 +11,9 @@ import (
 )
 
 // snapshotVersion guards against decoding snapshots from incompatible
-// builds.
-const snapshotVersion = 1
+// builds. Version 2 added the Stats counters, which crash recovery must
+// restore for the recovered monitor to be bit-identical to the original.
+const snapshotVersion = 2
 
 // objectSnap and querySnap are the wire representations of the monitor's
 // durable state. Exported fields only, for encoding/gob.
@@ -39,6 +40,7 @@ type querySnap struct {
 type monitorSnap struct {
 	Version int
 	Now     float64
+	Stats   Stats
 	Objects []objectSnap
 	Queries []querySnap
 }
@@ -49,7 +51,7 @@ type monitorSnap struct {
 // forcing every client to re-register. Options are not part of the snapshot;
 // the restoring monitor must be constructed with the same Options.
 func (m *Monitor) SaveSnapshot(w io.Writer) error {
-	snap := monitorSnap{Version: snapshotVersion, Now: m.now}
+	snap := monitorSnap{Version: snapshotVersion, Now: m.now, Stats: m.stats}
 	for _, id := range m.sortedObjectIDs() {
 		st := m.objects[id]
 		snap.Objects = append(snap.Objects, objectSnap{
@@ -80,6 +82,7 @@ func (m *Monitor) LoadSnapshot(r io.Reader) error {
 		return fmt.Errorf("core: snapshot version %d, want %d", snap.Version, snapshotVersion)
 	}
 	m.now = snap.Now
+	m.stats = snap.Stats
 	for _, o := range snap.Objects {
 		st := &objectState{
 			id: o.ID, lastLoc: o.LastLoc, prevLoc: o.PrevLoc, lastTime: o.LastTime,

@@ -31,6 +31,7 @@ const (
 	KindCircle
 )
 
+// String returns the lowercase wire/CLI name of the kind.
 func (k Kind) String() string {
 	switch k {
 	case KindRange:

@@ -1,0 +1,71 @@
+package remote
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"srb/internal/core"
+	"srb/internal/geom"
+)
+
+// The complete wire deployment in one loopback process: a server hosting the
+// monitor, an application registering a continuous query, and a mobile client
+// that reports only when it leaves its safe region.
+func ExampleMobileClient() {
+	s, err := NewServer("127.0.0.1:0", core.Options{GridM: 10})
+	if err != nil {
+		panic(err)
+	}
+	s.SetLogf(nil)
+	go s.Serve()
+	defer s.Close()
+
+	app, err := DialApp(s.Addr())
+	if err != nil {
+		panic(err)
+	}
+	defer app.Close()
+
+	c, err := DialClient(s.Addr(), 1, geom.Point{X: 0.25, Y: 0.25})
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+	// The server answers the hello with a safe-region grant — at GridM 10 the
+	// base framework confines it to the object's grid cell, [0.2,0.3]².
+	for {
+		if _, ok := c.Region(); ok {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A continuous range query over the west half; object 1 matches.
+	initial, err := app.RegisterRange(7, geom.Rect{MinX: 0, MinY: 0, MaxX: 0.5, MaxY: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("initial:", initial)
+
+	// Wandering inside the safe region is free: no message leaves the client.
+	c.Tick(geom.Point{X: 0.26, Y: 0.24})
+	updates, _ := c.Stats()
+	fmt.Println("updates after silent move:", updates)
+
+	// Crossing into the east half exits the region: the client reports once
+	// and the application sees the result change.
+	c.Tick(geom.Point{X: 0.8, Y: 0.2})
+	ru := <-app.Updates()
+	ids := append([]uint64(nil), ru.Results...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fmt.Println("query", ru.Query, "now:", ids)
+	updates, _ = c.Stats()
+	fmt.Println("updates after crossing:", updates)
+
+	// Output:
+	// initial: [1]
+	// updates after silent move: 0
+	// query 7 now: []
+	// updates after crossing: 1
+}

@@ -1,0 +1,248 @@
+package remote
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"srb/internal/core"
+	"srb/internal/wire"
+)
+
+// Crash recovery for the server: the monitor state is made durable as a
+// periodic snapshot plus an append-only operation journal (see
+// internal/core/journal.go and DESIGN.md §11). The persistence directory
+// holds two files:
+//
+//	snapshot.srb    one JSON meta line {"v":1,"last_seq":N} followed by the
+//	                gob blob of core.SaveSnapshot; written tmp+rename so a
+//	                crash mid-snapshot leaves the previous one intact
+//	journal.ndjson  core.Journal entries appended after the snapshot
+//
+// The journal's sequence numbers are monotonic across snapshots; the meta
+// line's last_seq tells recovery which prefix of the journal the snapshot
+// already contains, so the snapshot/truncate pair does not need to be atomic.
+const (
+	snapshotFile = "snapshot.srb"
+	journalFile  = "journal.ndjson"
+)
+
+// snapshotMeta is the JSON header line of a snapshot file.
+type snapshotMeta struct {
+	V       int    `json:"v"`
+	LastSeq uint64 `json:"last_seq"`
+}
+
+type persistState struct {
+	dir     string
+	file    *os.File
+	journal *core.Journal
+	every   time.Duration
+	timer   *time.Timer
+}
+
+// Recover loads the last snapshot from dir (if any) and replays the journal
+// suffix over it, leaving the server's monitor exactly as it was when the
+// last journaled operation committed. Must be called before Serve, on an
+// empty monitor. A missing directory or empty directory is not an error —
+// there is simply nothing to recover. The replayed journal's last sequence
+// number carries over into SetPersist, so new entries continue the log.
+func (s *Server) Recover(dir string) (core.ReplayStats, error) {
+	var rs core.ReplayStats
+	var fromSeq uint64
+	t0 := time.Now()
+	sf, err := os.Open(filepath.Join(dir, snapshotFile))
+	switch {
+	case err == nil:
+		meta, blob, err := readSnapshotHeader(sf)
+		if err != nil {
+			_ = sf.Close()
+			return rs, err
+		}
+		err = s.mon.LoadSnapshot(blob)
+		_ = sf.Close()
+		if err != nil {
+			return rs, err
+		}
+		fromSeq = meta.LastSeq
+	case os.IsNotExist(err):
+		// Cold start with no snapshot; the journal alone may still replay.
+	default:
+		return rs, fmt.Errorf("remote: open snapshot: %w", err)
+	}
+	jf, err := os.Open(filepath.Join(dir, journalFile))
+	switch {
+	case err == nil:
+		rs, err = core.ReplayJournal(bufio.NewReader(jf), s.mon, fromSeq)
+		_ = jf.Close()
+		if err != nil {
+			return rs, err
+		}
+	case os.IsNotExist(err):
+	default:
+		return rs, fmt.Errorf("remote: open journal: %w", err)
+	}
+	if rs.LastSeq < fromSeq {
+		rs.LastSeq = fromSeq
+	}
+	// The monitor clock must never run backward across a restart: fold the
+	// recovered clock into the base that Serve's event loop adds elapsed
+	// wall time to.
+	s.timeBase = s.mon.Now()
+	s.recSeq = rs.LastSeq
+	s.noteRecovery(rs, time.Since(t0))
+	return rs, nil
+}
+
+// SetPersist enables journaling into dir, creating it if needed, and — when
+// snapshotEvery > 0 — periodic snapshots that bound replay time (each
+// snapshot truncates the journal). Call after Recover (to continue its
+// sequence numbers) and before Serve.
+func (s *Server) SetPersist(dir string, snapshotEvery time.Duration) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("remote: persist dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("remote: open journal for append: %w", err)
+	}
+	s.persist = &persistState{
+		dir:     dir,
+		file:    f,
+		journal: core.NewJournal(f, s.recSeq),
+		every:   snapshotEvery,
+	}
+	if snapshotEvery > 0 {
+		s.armSnapshot()
+	}
+	return nil
+}
+
+// armSnapshot schedules the next periodic snapshot onto the event loop.
+func (s *Server) armSnapshot() {
+	s.persist.timer = time.AfterFunc(s.persist.every, func() {
+		select {
+		case s.reqs <- request{fn: func() {
+			if err := s.snapshotNow(); err != nil {
+				s.logf("remote: periodic snapshot: %v", err)
+			}
+			s.armSnapshot()
+		}}:
+		case <-s.done:
+		}
+	})
+}
+
+// snapshotNow writes a snapshot of the current monitor state and truncates
+// the journal it supersedes. Runs on the event loop.
+func (s *Server) snapshotNow() error {
+	p := s.persist
+	if p == nil {
+		return nil
+	}
+	t0 := time.Now()
+	tmp := filepath.Join(p.dir, snapshotFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	meta, _ := json.Marshal(snapshotMeta{V: 1, LastSeq: p.journal.LastSeq()})
+	w := bufio.NewWriter(f)
+	_, err = w.Write(append(meta, '\n'))
+	if err == nil {
+		err = s.mon.SaveSnapshot(w)
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil { //lint:allow errdrop the write error takes precedence over the close error
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(p.dir, snapshotFile))
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	// The snapshot now covers every journaled entry; drop them. If this
+	// truncate is lost to a crash, recovery skips the covered prefix via the
+	// snapshot's last_seq, so durability does not depend on it.
+	if err := p.file.Truncate(0); err != nil {
+		s.logf("remote: truncate journal after snapshot: %v", err)
+	}
+	s.noteSnapshot(time.Since(t0))
+	return nil
+}
+
+// readSnapshotHeader parses the meta line and positions the reader at the
+// gob blob.
+func readSnapshotHeader(f *os.File) (snapshotMeta, io.Reader, error) {
+	var meta snapshotMeta
+	br := bufio.NewReader(f)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return meta, nil, fmt.Errorf("remote: snapshot header: %w", err)
+	}
+	if err := json.Unmarshal(line, &meta); err != nil {
+		return meta, nil, fmt.Errorf("remote: snapshot header: %w", err)
+	}
+	if meta.V != 1 {
+		return meta, nil, fmt.Errorf("remote: snapshot envelope version %d, want 1", meta.V)
+	}
+	return meta, br, nil
+}
+
+// jBegin/jCommit/jAbort bracket one monitor operation in the journal; all
+// are no-ops without persistence and run on the event loop.
+func (s *Server) jBegin(e core.JournalEntry) {
+	if s.persist == nil {
+		return
+	}
+	e.T = s.mon.Now()
+	s.persist.journal.Begin(e)
+}
+
+func (s *Server) jCommit() {
+	if s.persist == nil {
+		return
+	}
+	if err := s.persist.journal.Commit(); err != nil {
+		s.logf("remote: %v", err)
+		return
+	}
+	s.noteJournal()
+}
+
+func (s *Server) jAbort() {
+	if s.persist != nil {
+		s.persist.journal.Abort()
+	}
+}
+
+// registrationEntry maps a registration frame to its journal entry.
+func registrationEntry(req wire.Message) core.JournalEntry {
+	e := core.JournalEntry{Op: core.JournalRegister, QID: req.QID}
+	switch req.Type {
+	case wire.TRegisterRange:
+		e.Kind = "range"
+		e.MinX, e.MinY, e.MaxX, e.MaxY = req.MinX, req.MinY, req.MaxX, req.MaxY
+	case wire.TRegisterCount:
+		e.Kind = "count"
+		e.MinX, e.MinY, e.MaxX, e.MaxY = req.MinX, req.MinY, req.MaxX, req.MaxY
+	case wire.TRegisterCircle:
+		e.Kind = "circle"
+		e.X, e.Y, e.Radius = req.X, req.Y, req.Radius
+	default:
+		e.Kind = "knn"
+		e.X, e.Y, e.K, e.Ordered = req.X, req.Y, req.K, req.Ordered
+	}
+	return e
+}

@@ -169,7 +169,11 @@ func TestKNNQueryOverNetworkWithProbes(t *testing.T) {
 	}
 }
 
-func TestDuplicateQueryRejected(t *testing.T) {
+// TestDuplicateQueryReplaces: the monitor API rejects duplicate IDs, but the
+// wire layer replaces them — registration must be idempotent so a retried
+// frame or a reconnected app server is safe (see TestRegisterIdempotentReplaces
+// for the full contract).
+func TestDuplicateQueryReplaces(t *testing.T) {
 	s := startServer(t)
 	app, err := DialApp(s.Addr())
 	if err != nil {
@@ -179,8 +183,13 @@ func TestDuplicateQueryRejected(t *testing.T) {
 	if _, err := app.RegisterRange(1, geom.R(0, 0, 1, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := app.RegisterRange(1, geom.R(0, 0, 1, 1)); err == nil {
-		t.Fatal("duplicate registration must fail")
+	if _, err := app.RegisterRange(1, geom.R(0, 0, 1, 1)); err != nil {
+		t.Fatalf("duplicate registration must replace, got error: %v", err)
+	}
+	var nq int
+	_ = s.do(func() { nq = s.mon.NumQueries() })
+	if nq != 1 {
+		t.Fatalf("queries after duplicate register = %d, want 1", nq)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"srb/internal/chaos"
 	"srb/internal/core"
 	"srb/internal/geom"
 	"srb/internal/obs"
@@ -43,14 +44,27 @@ type Server struct {
 	sink *obs.Sink // attached observability, nil when off
 	obs  *srvObs
 
+	inj     *chaos.Injector // fault injection on accepted conns, nil when off
+	lease   time.Duration   // how long a disconnected session survives; 0 = none
+	probeTO time.Duration   // per-probe reply deadline, default probeTimeout
+
 	// State below is owned by the event loop goroutine.
 	clients map[uint64]*clientConn
 	watch   map[query.ID]*appConn
+	leases  map[uint64]*time.Timer // pending lease expiries by object
+	persist *persistState          // crash-recovery journal, nil when off
 
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 	start     time.Time
-	logf      func(format string, args ...interface{})
+	timeBase  float64 // monitor clock at recovery, so time never runs backward
+	recSeq    uint64  // journal sequence recovery stopped at; SetPersist continues it
+
+	// Startup-recovery outcome, written once in Recover (before Serve) and
+	// read by the observability gauges.
+	replaySeconds float64
+	replayEntries int
+	logf          func(format string, args ...interface{})
 }
 
 // request is one event-loop operation: either an arbitrary closure or a
@@ -69,6 +83,14 @@ type clientConn struct {
 	lastPos geom.Point
 	seq     uint64
 	replies chan wire.Message
+
+	// needRegion marks a session whose last safe-region push failed (or that
+	// just resumed): the current region must be re-sent before the client can
+	// be trusted to suppress updates again. Event-loop owned.
+	needRegion bool
+	// bye records a clean TBye departure, which releases the object
+	// immediately instead of holding its session lease.
+	bye bool
 }
 
 type appConn struct {
@@ -97,6 +119,7 @@ func NewServer(addr string, opt core.Options) (*Server, error) {
 		done:    make(chan struct{}),
 		clients: make(map[uint64]*clientConn),
 		watch:   make(map[query.ID]*appConn),
+		leases:  make(map[uint64]*time.Timer),
 		start:   time.Now(),
 		logf:    log.Printf,
 	}
@@ -128,6 +151,31 @@ func (s *Server) SetWorkers(n int) {
 	}
 }
 
+// SetChaos wraps every accepted connection with the given fault injector
+// (see internal/chaos). Injected faults are counted in the observability
+// registry when a sink is attached. Must be called before Serve; nil
+// disables.
+func (s *Server) SetChaos(inj *chaos.Injector) {
+	s.inj = inj
+	if inj != nil && s.obs != nil {
+		inj.OnFault(s.obs.noteFault)
+	}
+}
+
+// SetProbeTimeout overrides how long a server-initiated probe waits for the
+// client's reply before falling back to the last reported location (default
+// 2s). Probes run on the event loop, so on a lossy link a shorter timeout
+// bounds how long one unanswered probe can stall all other sessions. Must be
+// called before Serve.
+func (s *Server) SetProbeTimeout(d time.Duration) { s.probeTO = d }
+
+// SetLease makes a disconnected mobile-client session survive for d: the
+// object stays in the monitor so a client that reconnects with Resume gets
+// its state back (and a fresh safe-region push) instead of being re-added
+// from scratch. d = 0 restores the historical behavior of removing the
+// object the moment its connection drops. Must be called before Serve.
+func (s *Server) SetLease(d time.Duration) { s.lease = d }
+
 // Addr returns the bound listener address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
@@ -152,6 +200,9 @@ func (s *Server) Serve() error {
 func (s *Server) Close() error {
 	err := s.ln.Close()
 	s.closeOnce.Do(func() { close(s.done) })
+	if s.persist != nil && s.persist.timer != nil {
+		s.persist.timer.Stop()
+	}
 	return err
 }
 
@@ -161,7 +212,7 @@ func (s *Server) loop() {
 	for {
 		select {
 		case r := <-s.reqs:
-			s.mon.SetTime(time.Since(s.start).Seconds())
+			s.mon.SetTime(s.timeBase + time.Since(s.start).Seconds())
 			s.dispatch(r)
 		case <-s.done:
 			return
@@ -224,6 +275,16 @@ func (s *Server) applyUpdates(conns []*clientConn, pts []geom.Point) {
 		c.lastPos = pts[i]
 	}
 	if s.pipe != nil && len(conns) > 1 {
+		// One journal entry for the whole coalesced batch, in arrival order;
+		// replay applies it in ascending-object-ID stable order, which the
+		// pipeline determinism contract guarantees is the same outcome.
+		if s.persist != nil {
+			je := core.JournalEntry{Op: core.JournalBatch, Batch: make([]core.BatchedUpdate, len(conns))}
+			for i, c := range conns {
+				je.Batch[i] = core.BatchedUpdate{Obj: c.obj, X: pts[i].X, Y: pts[i].Y}
+			}
+			s.jBegin(je)
+		}
 		batch := make([]parallel.Update, len(conns))
 		for i, c := range conns {
 			batch[i] = parallel.Update{ID: c.obj, Loc: pts[i]}
@@ -231,10 +292,21 @@ func (s *Server) applyUpdates(conns []*clientConn, pts []geom.Point) {
 		s.pipe.ApplyEach(batch, func(i int, ups []core.SafeRegionUpdate) {
 			s.dispatchRegions(conns[i].obj, ups)
 		})
-		return
+		s.jCommit()
+	} else {
+		// Sequential path applies in arrival order, so journal one entry per
+		// update to preserve that order on replay.
+		for i, c := range conns {
+			s.jBegin(core.JournalEntry{Op: core.JournalUpdate, Obj: c.obj, X: pts[i].X, Y: pts[i].Y})
+			ups := s.mon.Update(c.obj, pts[i])
+			s.jCommit()
+			s.dispatchRegions(c.obj, ups)
+		}
 	}
-	for i, c := range conns {
-		s.dispatchRegions(c.obj, s.mon.Update(c.obj, pts[i]))
+	for _, c := range conns {
+		if c.needRegion {
+			s.pushRegion(c)
+		}
 	}
 }
 
@@ -258,8 +330,23 @@ func (s *Server) do(f func()) error {
 // connection, falling back to the last reported location on timeout or after
 // disconnect.
 func (s *Server) probe(id uint64) geom.Point {
+	p := s.probeLive(id)
+	// Whatever answer the monitor consumes — live reply, fallback, or zero —
+	// is what a journal replay must reproduce.
+	if s.persist != nil {
+		s.persist.journal.NoteProbe(id, p)
+	}
+	return p
+}
+
+func (s *Server) probeLive(id uint64) geom.Point {
 	c := s.clients[id]
 	if c == nil {
+		// Disconnected but lease-alive object: its last reported location is
+		// the best the server has.
+		if p, ok := s.mon.LastReported(id); ok {
+			return p
+		}
 		return geom.Point{}
 	}
 	c.seq++
@@ -267,7 +354,11 @@ func (s *Server) probe(id uint64) geom.Point {
 	if err := c.codec.Send(wire.Message{Type: wire.TProbe, Seq: seq}); err != nil {
 		return c.lastPos
 	}
-	timer := time.NewTimer(probeTimeout)
+	to := s.probeTO
+	if to <= 0 {
+		to = probeTimeout
+	}
+	timer := time.NewTimer(to)
 	defer timer.Stop()
 	for {
 		select {
@@ -299,6 +390,9 @@ func (s *Server) onResults(u core.ResultUpdate) {
 // mobile-client session, anything else an application session.
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
+	if s.inj != nil {
+		conn = s.inj.Wrap(conn)
+	}
 	codec := wire.NewCodec(conn)
 	_ = conn.SetReadDeadline(time.Now().Add(helloTimeout))
 	first, err := codec.Recv()
@@ -311,6 +405,16 @@ func (s *Server) handle(conn net.Conn) {
 	_ = conn.SetReadDeadline(time.Time{})
 	if first.Type == wire.THello {
 		s.serveClient(conn, codec, first)
+		return
+	}
+	if first.Type == wire.TUpdate {
+		// A mobile client whose (resume) hello was lost in transit: its first
+		// surviving frame is a location report. Reconstruct the hello from it —
+		// updates carry the object ID and position — so the session attaches
+		// instead of being misrouted as an application connection.
+		hello := wire.Message{Type: wire.THello, Obj: first.Obj, Resume: true}
+		hello.SetPoint(first.Point())
+		s.serveClient(conn, codec, hello)
 		return
 	}
 	s.serveApp(conn, codec, first)
@@ -337,20 +441,11 @@ func (s *Server) serveClient(conn net.Conn, codec *wire.Codec, hello wire.Messag
 			return errors.New("remote: server closed")
 		}
 	}
-	if err := enqueue(request{fn: func() {
-		s.clients[c.obj] = c
-		s.noteClients()
-		c.lastPos = hello.Point()
-		s.dispatchRegions(c.obj, s.mon.AddObject(c.obj, hello.Point()))
-	}}); err != nil {
+	if err := enqueue(request{fn: func() { s.attachClient(c, hello) }}); err != nil {
 		return
 	}
 	defer func() {
-		_ = enqueue(request{fn: func() {
-			delete(s.clients, c.obj)
-			s.noteClients()
-			s.mon.RemoveObject(c.obj)
-		}})
+		_ = enqueue(request{fn: func() { s.detachClient(c) }})
 	}()
 	for {
 		// Per-client session loop: lives until the peer leaves or the server
@@ -370,11 +465,131 @@ func (s *Server) serveClient(conn net.Conn, codec *wire.Codec, hello wire.Messag
 			default:
 			}
 		case wire.TBye:
+			c.bye = true // published to the event loop by the detach enqueue
 			return
 		default:
 			s.logf("remote: client %d sent unexpected %q", c.obj, m.Type)
 		}
 	}
+}
+
+// attachClient installs a new or resumed mobile-client session. Runs on the
+// event loop.
+func (s *Server) attachClient(c *clientConn, hello wire.Message) {
+	if old := s.clients[c.obj]; old != nil && old != c {
+		// Session takeover: the client reconnected before the old conn's read
+		// loop noticed the loss. Tear the stale conn down; its detach is a
+		// no-op because the map no longer points at it.
+		_ = old.conn.Close()
+	}
+	if t := s.leases[c.obj]; t != nil {
+		t.Stop()
+		delete(s.leases, c.obj)
+	}
+	s.clients[c.obj] = c
+	s.noteClients()
+	p := hello.Point()
+	c.lastPos = p
+	_, known := s.mon.SafeRegion(c.obj)
+	if hello.Resume && known {
+		// The lease kept the object alive: fold the announced position in as
+		// an ordinary update, then re-push the current region so the client
+		// never monitors with a stale one.
+		s.noteReconnect(true)
+		s.jBegin(core.JournalEntry{Op: core.JournalUpdate, Obj: c.obj, X: p.X, Y: p.Y})
+		ups := s.mon.Update(c.obj, p)
+		s.jCommit()
+		s.dispatchRegions(c.obj, ups)
+		s.pushRegion(c)
+		return
+	}
+	if hello.Resume {
+		s.noteReconnect(false) // lease expired while away; re-add from scratch
+	}
+	s.jBegin(core.JournalEntry{Op: core.JournalAdd, Obj: c.obj, X: p.X, Y: p.Y})
+	ups := s.mon.AddObject(c.obj, p)
+	s.jCommit()
+	s.dispatchRegions(c.obj, ups)
+}
+
+// detachClient handles a session ending. With a lease configured the object
+// outlives the connection; otherwise (or on a clean TBye) it is removed
+// immediately. Runs on the event loop.
+func (s *Server) detachClient(c *clientConn) {
+	if s.clients[c.obj] != c {
+		return // superseded by a resumed session; nothing to release
+	}
+	delete(s.clients, c.obj)
+	s.noteClients()
+	if s.lease > 0 && !c.bye {
+		s.startLease(c.obj)
+		return
+	}
+	s.removeObject(c.obj)
+}
+
+// removeObject journals and applies an object removal. Runs on the event
+// loop.
+func (s *Server) removeObject(id uint64) {
+	s.jBegin(core.JournalEntry{Op: core.JournalRemove, Obj: id})
+	s.mon.RemoveObject(id)
+	s.jCommit()
+}
+
+// startLease arms the removal countdown for a disconnected object. Runs on
+// the event loop.
+func (s *Server) startLease(id uint64) {
+	if t := s.leases[id]; t != nil {
+		t.Stop()
+	}
+	s.leases[id] = time.AfterFunc(s.lease, func() {
+		select {
+		case s.reqs <- request{fn: func() { s.expireLease(id) }}:
+		case <-s.done:
+		}
+	})
+}
+
+// expireLease removes an object whose lease ran out without a resume. Runs
+// on the event loop.
+func (s *Server) expireLease(id uint64) {
+	delete(s.leases, id)
+	if _, live := s.clients[id]; live {
+		return // resumed between timer fire and event-loop turn
+	}
+	s.noteLeaseExpiry()
+	s.removeObject(id)
+}
+
+// pushRegion sends the object's current safe region to its session,
+// clearing the re-push mark on success. Runs on the event loop.
+func (s *Server) pushRegion(c *clientConn) {
+	r, ok := s.mon.SafeRegion(c.obj)
+	if !ok {
+		return
+	}
+	m := wire.Message{Type: wire.TRegion, Obj: c.obj}
+	m.SetRect(r)
+	if err := c.codec.Send(m); err != nil {
+		c.needRegion = true
+		return
+	}
+	c.needRegion = false
+	s.noteRepush()
+}
+
+// ResyncRegions re-pushes the current safe region to every connected
+// session. A region push lost in transit is invisible to the server (the
+// write succeeds locally), so after a period of degraded connectivity this
+// sweep re-establishes the safe-region contract in one round trip per
+// client: a client that receives a region it has already left reports
+// immediately.
+func (s *Server) ResyncRegions() error {
+	return s.do(func() {
+		for _, c := range s.clients {
+			s.pushRegion(c)
+		}
+	})
 }
 
 // dispatchRegions delivers refreshed safe regions to their clients. Runs on
@@ -389,9 +604,18 @@ func (s *Server) dispatchRegions(primary uint64, ups []core.SafeRegionUpdate) {
 		m.Type = wire.TRegion
 		m.Obj = u.Object
 		m.SetRect(u.Region)
-		if err := c.codec.Send(m); err != nil && u.Object == primary {
-			s.logf("remote: send region to %d: %v", u.Object, err)
+		if err := c.codec.Send(m); err != nil {
+			// The session must not be left monitoring with a stale region:
+			// mark it so the current region is re-sent at the next chance
+			// (next update from it, or its resume after a reconnect).
+			c.needRegion = true
+			s.noteRegionSendFail()
+			if u.Object == primary {
+				s.logf("remote: send region to %d: %v", u.Object, err)
+			}
+			continue
 		}
+		c.needRegion = false
 	}
 }
 
@@ -402,7 +626,14 @@ func (s *Server) serveApp(conn net.Conn, codec *wire.Codec, first wire.Message) 
 	defer func() {
 		_ = s.do(func() {
 			for _, qid := range owned {
+				if s.watch[qid] != a {
+					// A reconnected app server re-registered this query on a
+					// newer session; it is no longer ours to tear down.
+					continue
+				}
+				s.jBegin(core.JournalEntry{Op: core.JournalDeregister, QID: uint64(qid)})
 				s.mon.Deregister(qid)
+				s.jCommit()
 				delete(s.watch, qid)
 			}
 		})
@@ -417,7 +648,19 @@ func (s *Server) serveApp(conn net.Conn, codec *wire.Codec, first wire.Message) 
 			var count int
 			var regErr error
 			err := s.do(func() {
+				// Registration is idempotent at the wire layer: a duplicate ID
+				// (a retried frame whose reply was lost, or an app server
+				// re-registering after a reconnect) replaces the existing
+				// query instead of erroring. The replacement is journaled as
+				// deregister+register so replay stays exact.
+				if _, ok := s.mon.Query(qid); ok {
+					s.jBegin(core.JournalEntry{Op: core.JournalDeregister, QID: uint64(qid)})
+					s.mon.Deregister(qid)
+					s.jCommit()
+					delete(s.watch, qid)
+				}
 				var ups []core.SafeRegionUpdate
+				s.jBegin(registrationEntry(req))
 				switch req.Type {
 				case wire.TRegisterRange:
 					results, ups, regErr = s.mon.RegisterRange(qid, req.Rect())
@@ -432,9 +675,12 @@ func (s *Server) serveApp(conn net.Conn, codec *wire.Codec, first wire.Message) 
 					count = len(results)
 				}
 				if regErr == nil {
+					s.jCommit()
 					s.watch[qid] = a
 					owned = append(owned, qid)
 					s.dispatchRegions(0, ups)
+				} else {
+					s.jAbort() // rejected registration left the monitor untouched
 				}
 			})
 			if err != nil {
@@ -450,7 +696,9 @@ func (s *Server) serveApp(conn net.Conn, codec *wire.Codec, first wire.Message) 
 		case wire.TDeregister:
 			qid := query.ID(m.QID)
 			if err := s.do(func() {
+				s.jBegin(core.JournalEntry{Op: core.JournalDeregister, QID: uint64(qid)})
 				s.mon.Deregister(qid)
+				s.jCommit()
 				delete(s.watch, qid)
 			}); err != nil {
 				return

@@ -69,6 +69,19 @@ type Config struct {
 	// one batch planned on this many workers. Results are bit-identical to the
 	// sequential path by the pipeline's determinism contract.
 	BatchWorkers int
+	// LossRate, when positive, models a lossy wireless link (SRB scheme
+	// only): each source-initiated update and each safe-region grant is
+	// independently lost with this probability, drawn from a dedicated seeded
+	// stream so runs stay reproducible. The t=0 bootstrap and server probes
+	// remain reliable (the remote layer's probe path falls back to the last
+	// reported location, so probe loss does not stall the server).
+	LossRate float64
+	// ResendTimeout is the client's retransmission timer under LossRate > 0:
+	// if no refreshed safe region arrives within this many time units of an
+	// update, the client resends its current position. It must exceed the
+	// 2·Tau round trip to avoid spurious resends; defaults to
+	// 2·Tau + SampleEvery.
+	ResendTimeout float64
 	// Mobility selects the model: "waypoint" (default) or "directed".
 	Mobility string
 	// Space is the monitored region.
@@ -168,6 +181,11 @@ type Result struct {
 	CPUPerTimeUnit float64
 	// Distance is the total distance traveled by all clients.
 	Distance float64
+	// LostUpdates and LostRegions count messages dropped by the lossy link
+	// (LossRate > 0): source updates that never reached the server and safe
+	// region grants that never reached their client. Resends counts the
+	// retransmissions the clients' resend timer triggered.
+	LostUpdates, LostRegions, Resends int64
 	// Stats carries the SRB server's internal counters (zero for OPT/PRD).
 	Stats core.Stats
 }

@@ -90,6 +90,7 @@ func Experiments() []Experiment {
 		{"fig7.5", "Cost and CPU time vs grid partitioning M", Fig75},
 		{"fig7.6a", "Reachability-circle enhancement vs W", Fig76a},
 		{"fig7.6b", "Weighted-perimeter enhancement vs t̄v", Fig76b},
+		{"figL.1", "Accuracy and cost vs wireless loss rate (lossy-link extension)", FigL1},
 	}
 }
 
@@ -323,6 +324,26 @@ func Fig76a(base Config) Table {
 			imp = 100 * (plain - enh) / plain
 		}
 		t.Rows = append(t.Rows, TableRow{X: float64(w), Values: []float64{plain, enh, imp}})
+	}
+	return t
+}
+
+// FigL1 goes beyond the paper (which assumes a reliable link): it sweeps the
+// wireless loss rate and reports SRB's monitoring accuracy and per-client
+// communication cost. Accuracy degrades gracefully — a client that misses a
+// shrunken safe-region grant keeps monitoring with its stale one — while the
+// cost rises with the retransmissions that heal lost updates.
+func FigL1(base Config) Table {
+	t := Table{ID: "figL.1", Title: "SRB accuracy and cost vs wireless loss rate", XLabel: "loss",
+		Columns: []string{"SRB acc", "SRB comm", "lost up", "lost down", "resends"}}
+	for _, p := range []float64{0, 0.01, 0.05, 0.1, 0.2, 0.4} {
+		cfg := base
+		cfg.LossRate = p
+		r := RunSRB(cfg)
+		t.Rows = append(t.Rows, TableRow{X: p, Values: []float64{
+			r.Accuracy, r.CommPerClientTime,
+			float64(r.LostUpdates), float64(r.LostRegions), float64(r.Resends),
+		}})
 	}
 	return t
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"srb/internal/core"
@@ -19,6 +20,7 @@ const (
 	evRegion        // a refreshed safe region arrives at a client
 	evSweep         // periodic client-side region check (GPS tick)
 	evSample        // accuracy sampling instant
+	evResend        // lossy link: retransmission timer for an unacked update
 )
 
 type event struct {
@@ -94,9 +96,29 @@ func RunSRB(cfg Config) Result {
 		heap.Push(&events, e)
 	}
 
+	// The lossy-link extension: when LossRate > 0, updates and region grants
+	// are dropped with that probability from a dedicated seeded stream (so a
+	// LossRate = 0 run draws nothing and stays bit-identical to the reliable
+	// model). Lost updates are healed by the clients' resend timer; a lost
+	// grant leaves the client monitoring with its stale — strictly larger at
+	// grant time — region until its next exchange, which is exactly the
+	// accuracy degradation the figL.1 sweep quantifies.
+	var lossRng *rand.Rand
+	resendTO := cfg.ResendTimeout
+	if cfg.LossRate > 0 {
+		lossRng = rand.New(rand.NewSource(cfg.Seed*7919 + 13))
+		if resendTO <= 0 {
+			resendTO = 2*cfg.Tau + cfg.SampleEvery
+		}
+	}
+
 	// deliver routes the server's safe-region refreshes to the clients.
 	deliver := func(t float64, ups []core.SafeRegionUpdate) {
 		for _, u := range ups {
+			if lossRng != nil && lossRng.Float64() < cfg.LossRate {
+				res.LostRegions++
+				continue
+			}
 			push(event{t: t + cfg.Tau, kind: evRegion, obj: u.Object, region: u.Region})
 		}
 	}
@@ -202,8 +224,17 @@ func RunSRB(cfg Config) Result {
 		}
 		c := &clients[id]
 		c.awaiting = true
-		updates++
-		push(event{t: t + cfg.Tau, kind: evServer, obj: id, pos: curs[id].At(t)})
+		updates++ // the transmission is paid for whether or not it arrives
+		if lossRng != nil && lossRng.Float64() < cfg.LossRate {
+			res.LostUpdates++
+		} else {
+			push(event{t: t + cfg.Tau, kind: evServer, obj: id, pos: curs[id].At(t)})
+		}
+		if lossRng != nil {
+			// Arm the retransmission timer; a region grant (gen bump) or the
+			// awaiting flag clearing makes it a no-op.
+			push(event{t: t + resendTO, kind: evResend, obj: id, gen: c.gen})
+		}
 	}
 
 	for events.Len() > 0 {
@@ -259,6 +290,13 @@ func RunSRB(cfg Config) Result {
 				break
 			}
 			scheduleExit(e.obj, e.t)
+		case evResend:
+			c := &clients[e.obj]
+			if !c.awaiting || e.gen != c.gen {
+				break // a region arrived (or a newer update owns the timer)
+			}
+			res.Resends++
+			sendUpdate(e.t, e.obj)
 		case evSweep:
 			for id := range clients {
 				c := &clients[id]

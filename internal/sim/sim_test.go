@@ -150,8 +150,8 @@ func TestDirectedMobility(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 12 {
-		t.Fatalf("expected 12 experiments (1 table + 11 figures), got %d", len(exps))
+	if len(exps) != 13 {
+		t.Fatalf("expected 13 experiments (1 table + 12 figures), got %d", len(exps))
 	}
 	if _, ok := ExperimentByID("fig7.5"); !ok {
 		t.Fatal("fig7.5 missing")
@@ -256,6 +256,35 @@ func TestSeedDeterminismAllSchemes(t *testing.T) {
 				t.Fatalf("same seed produced different metrics:\n%+v\n%+v", a, b)
 			}
 		})
+	}
+}
+
+func TestLossyLinkDegradesGracefully(t *testing.T) {
+	clean := RunSRB(tiny())
+	cfg := tiny()
+	cfg.LossRate = 0.2
+	lossy := RunSRB(cfg)
+	if lossy.LostUpdates == 0 || lossy.LostRegions == 0 {
+		t.Fatalf("loss rate 0.2 dropped nothing: %+v", lossy)
+	}
+	if lossy.Resends == 0 {
+		t.Fatal("expected retransmissions to heal lost updates")
+	}
+	if lossy.Accuracy >= clean.Accuracy {
+		t.Fatalf("lossy accuracy %v not below reliable %v", lossy.Accuracy, clean.Accuracy)
+	}
+	if lossy.Accuracy < 0.5 {
+		t.Fatalf("accuracy collapsed under 20%% loss: %v", lossy.Accuracy)
+	}
+	// The loss schedule is drawn from its own seeded stream: the run is
+	// reproducible, and a reliable run draws nothing from it.
+	again := RunSRB(cfg)
+	//lint:allow floatcmp seed determinism means bit-identical metrics
+	if stripCPU(lossy) != stripCPU(again) {
+		t.Fatalf("lossy run not reproducible:\n%+v\n%+v", lossy, again)
+	}
+	if clean.LostUpdates != 0 || clean.LostRegions != 0 || clean.Resends != 0 {
+		t.Fatalf("reliable run recorded losses: %+v", clean)
 	}
 }
 

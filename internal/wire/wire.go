@@ -71,6 +71,13 @@ type Message struct {
 	// Probe sequencing and errors.
 	Seq uint64 `json:"seq,omitempty"`
 	Err string `json:"err,omitempty"`
+
+	// Resume marks a THello as a session resumption after a connection loss:
+	// the server reattaches the existing object state (kept alive by its
+	// session lease), treats the hello position as a location update, and
+	// replays the current safe region so the client never monitors with a
+	// stale one.
+	Resume bool `json:"resume,omitempty"`
 }
 
 // Point returns the (X, Y) payload.
