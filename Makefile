@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt lint test race debug fuzz-smoke obs-smoke docs
+.PHONY: check build vet fmt lint lint-ipa lint-baseline test race debug fuzz-smoke obs-smoke docs
 
-check: build vet fmt lint test race debug fuzz-smoke
+check: build vet fmt lint lint-ipa test race debug fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -21,10 +21,24 @@ fmt:
 
 # Project-specific static analysis (internal/analysis): the syntactic checks
 # (floatcmp, lockreentry, sliceescape, bareGoroutine) plus the flow-sensitive
-# v2 suite (lockorder, errdrop, ctxdeadline, distunits). Fails on any
-# unsuppressed finding.
+# v2 suite (lockorder, errdrop, ctxdeadline, distunits) and the
+# interprocedural v3 suite (maporder, wallclock, allochot, rwpurity). Fails on
+# any unsuppressed finding; known hot-path allocation sites are accepted
+# through lint/allochot.baseline.
 lint:
-	$(GO) run ./cmd/srb-lint ./...
+	$(GO) run ./cmd/srb-lint -baseline lint/allochot.baseline ./...
+
+# Only the interprocedural determinism/allocation suite: fails on any
+# maporder/wallclock/rwpurity finding, and on allochot sites not in the
+# checked-in baseline (the allocation ratchet).
+lint-ipa:
+	$(GO) run ./cmd/srb-lint -checks maporder,wallclock,allochot,rwpurity -baseline lint/allochot.baseline ./...
+
+# Regenerate the accepted hot-path allocation inventory after intentional
+# changes; the output is deterministic, so the diff shows exactly the sites
+# added or removed.
+lint-baseline:
+	$(GO) run ./cmd/srb-lint -checks allochot -write-baseline lint/allochot.baseline ./...
 
 test:
 	$(GO) test ./...

@@ -16,8 +16,14 @@
 // engine in cfg.go and dataflow.go: lock-acquisition-order cycles
 // (lockorder), dropped error values (errdrop), blocking network operations
 // without a deadline (ctxdeadline), and distance vs squared-distance unit
-// mixing (distunits). See the individual files for the rules and DESIGN.md §8
-// for the engine.
+// mixing (distunits). The interprocedural checks, built on the module call
+// graph and bottom-up function summaries in callgraph.go and summary.go: map
+// iteration order reaching ordered sinks (maporder), wall-clock/global-rand
+// reads reaching the deterministic packages (wallclock), allocation sites
+// reachable from //srb:hotpath roots against a checked-in baseline
+// (allochot), and writes performed under ParallelMonitor's read lock
+// (rwpurity). See the individual files for the rules, DESIGN.md §8 for the
+// dataflow engine and §12 for the interprocedural layer.
 //
 // # Suppressions
 //
@@ -101,10 +107,13 @@ func (p *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ..
 	})
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order. The last four are the
+// interprocedural (call-graph + summary) checks; see callgraph.go and
+// summary.go for the machinery they share.
 func All() []*Analyzer {
 	return []*Analyzer{FloatCmp, LockReentry, SliceEscape, BareGoroutine,
-		MissingDoc, LockOrder, ErrDrop, CtxDeadline, DistUnits}
+		MissingDoc, LockOrder, ErrDrop, CtxDeadline, DistUnits,
+		MapOrder, WallClock, AllocHot, RWPurity}
 }
 
 // ByName resolves a comma-separated analyzer list; empty selects all.
@@ -177,20 +186,26 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
 	return diags
 }
 
-// applySuppressions marks findings covered by //lint:allow comments. The
-// comment suppresses matching analyzers on its own line and on the line
-// immediately below it (so both trailing and preceding placements work).
-func applySuppressions(pkg *Package, diags []Diagnostic) {
-	type key struct {
-		file string
-		line int
-	}
-	allowed := make(map[key]map[string]bool)
+// allowKey addresses one source line for suppression lookup.
+type allowKey struct {
+	file string
+	line int
+}
+
+// allowIndex maps every line covered by a //lint:allow comment (the comment's
+// own line and the line directly below it) to the set of analyzer names it
+// suppresses. Shared by applySuppressions and the interprocedural summary
+// computation (which must not propagate allow-annotated wall-clock facts).
+func allowIndex(pkg *Package) map[allowKey]map[string]bool {
+	allowed := make(map[allowKey]map[string]bool)
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -200,7 +215,7 @@ func applySuppressions(pkg *Package, diags []Diagnostic) {
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				for _, line := range []int{pos.Line, pos.Line + 1} {
-					k := key{pos.Filename, line}
+					k := allowKey{pos.Filename, line}
 					if allowed[k] == nil {
 						allowed[k] = make(map[string]bool)
 					}
@@ -211,8 +226,16 @@ func applySuppressions(pkg *Package, diags []Diagnostic) {
 			}
 		}
 	}
+	return allowed
+}
+
+// applySuppressions marks findings covered by //lint:allow comments. The
+// comment suppresses matching analyzers on its own line and on the line
+// immediately below it (so both trailing and preceding placements work).
+func applySuppressions(pkg *Package, diags []Diagnostic) {
+	allowed := allowIndex(pkg)
 	for i := range diags {
-		set := allowed[key{diags[i].Pos.Filename, diags[i].Pos.Line}]
+		set := allowed[allowKey{diags[i].Pos.Filename, diags[i].Pos.Line}]
 		if set != nil && (set[diags[i].Analyzer] || set["all"]) {
 			diags[i].Suppressed = true
 		}

@@ -1,0 +1,140 @@
+package analysis
+
+// baseline.go implements the accepted-findings file that turns allochot from
+// a report into a ratchet: the checked-in lint/allochot.baseline lists every
+// known hot-path allocation site, the driver subtracts it, and CI fails only
+// on sites not in the file. The format is deliberately boring — a fixed
+// header, then one sorted `path:line:col: check: message` entry per finding
+// with module-relative slash paths and no timestamps — so regenerating it on
+// an unchanged tree is byte-identical and diffs stay reviewable.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// baselineHeader precedes the entries; lines starting with '#' and blank
+// lines are ignored when parsing.
+const baselineHeader = `# srb-lint accepted findings.
+# One "path:line:col: check: message" per line, sorted; paths are
+# module-relative with forward slashes. Regenerate with:
+#   go run ./cmd/srb-lint -checks allochot -write-baseline lint/allochot.baseline ./...
+`
+
+// BaselineEntry is one accepted finding.
+type BaselineEntry struct {
+	File  string // module-relative, forward slashes
+	Line  int
+	Col   int
+	Check string
+	Msg   string
+}
+
+// Key is the match identity: file, line, column, check and message. Line
+// numbers shifting invalidates entries by design — the baseline is
+// regenerated alongside the edit that moves the code.
+func (e BaselineEntry) Key() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", e.File, e.Line, e.Col, e.Check, e.Msg)
+}
+
+// BaselineEntryOf converts a diagnostic to its baseline form, relativizing
+// the file path against the module directory.
+func BaselineEntryOf(moduleDir string, d Diagnostic) BaselineEntry {
+	return BaselineEntry{
+		File:  relPath(moduleDir, d.Pos.Filename),
+		Line:  d.Pos.Line,
+		Col:   d.Pos.Column,
+		Check: d.Analyzer,
+		Msg:   d.Message,
+	}
+}
+
+// relPath makes filename module-relative with forward slashes; paths outside
+// the module (or unrelatable) pass through slash-converted.
+func relPath(moduleDir, filename string) string {
+	if moduleDir != "" {
+		if rel, err := filepath.Rel(moduleDir, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+// FormatBaseline renders diagnostics as baseline file contents: header plus
+// sorted entries. Suppressed findings are excluded — an allow comment already
+// accepts them. Output is deterministic for a fixed set of findings.
+func FormatBaseline(moduleDir string, diags []Diagnostic) string {
+	lines := make([]string, 0, len(diags))
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		lines = append(lines, BaselineEntryOf(moduleDir, d).Key())
+	}
+	sort.Strings(lines)
+	var b strings.Builder
+	b.WriteString(baselineHeader)
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseBaseline reads baseline entries, ignoring comments and blank lines.
+func ParseBaseline(r io.Reader) (map[string]bool, error) {
+	accepted := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Minimal shape check: path:line:col: check: message.
+		if strings.Count(line, ":") < 4 {
+			return nil, fmt.Errorf("baseline line %d: malformed entry %q", lineNo, line)
+		}
+		accepted[line] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return accepted, nil
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty baseline.
+func LoadBaseline(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]bool{}, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	return ParseBaseline(f)
+}
+
+// ApplyBaseline marks diagnostics whose baseline key is accepted as
+// suppressed, returning how many it matched.
+func ApplyBaseline(moduleDir string, accepted map[string]bool, diags []Diagnostic) int {
+	n := 0
+	for i := range diags {
+		if diags[i].Suppressed {
+			continue
+		}
+		if accepted[BaselineEntryOf(moduleDir, diags[i]).Key()] {
+			diags[i].Suppressed = true
+			n++
+		}
+	}
+	return n
+}

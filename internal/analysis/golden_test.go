@@ -1,19 +1,22 @@
 package analysis
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 )
 
 // TestRepoIsClean is the golden gate: the full analyzer suite over the whole
-// module must produce zero unsuppressed findings. Every deliberate exact
-// comparison, read-only slice view, ownership transfer and unbounded receive
-// loop in the repo carries a //lint:allow annotation stating why, so any new
+// module, minus the checked-in allochot baseline, must produce zero
+// unsuppressed findings. Every deliberate exact comparison, read-only slice
+// view, ownership transfer, unbounded receive loop and wall-clock read in the
+// repo carries a //lint:allow annotation stating why, and every known
+// hot-path allocation site is listed in lint/allochot.baseline, so any new
 // finding is a regression — either a real bug or a missing justification.
 //
 // All packages are loaded before running, mirroring cmd/srb-lint: the
-// module-scope lockorder analyzer needs the whole call graph to certify the
-// lock-acquisition order acyclic.
+// module-scope analyzers (lockorder and the interprocedural v3 suite) need
+// the whole module in one pass.
 func TestRepoIsClean(t *testing.T) {
 	root, err := filepath.Abs("../..")
 	if err != nil {
@@ -38,8 +41,39 @@ func TestRepoIsClean(t *testing.T) {
 		}
 		all = append(all, pkgs...)
 	}
+	if want := len(All()); want < 13 {
+		t.Fatalf("expected the suite to carry at least 13 analyzers, got %d", want)
+	}
+	diags := Run(all, All())
+
+	// The checked-in allochot baseline is part of the gate: it must absorb
+	// exactly the current hot-path allocation inventory, and regenerating it
+	// must be byte-identical to the committed file (acceptance criterion).
+	baselinePath := filepath.Join(root, "lint", "allochot.baseline")
+	accepted, err := LoadBaseline(baselinePath)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if len(accepted) == 0 {
+		t.Fatalf("empty or missing %s; regenerate with: go run ./cmd/srb-lint -checks allochot -write-baseline lint/allochot.baseline ./...", baselinePath)
+	}
+	var allocDiags []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == AllocHot.Name {
+			allocDiags = append(allocDiags, d)
+		}
+	}
+	want, err := os.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatBaseline(root, allocDiags); got != string(want) {
+		t.Errorf("lint/allochot.baseline is stale: regenerate with: go run ./cmd/srb-lint -checks allochot -write-baseline lint/allochot.baseline ./...")
+	}
+	ApplyBaseline(root, accepted, diags)
+
 	suppressedByCheck := make(map[string]int)
-	for _, d := range Run(all, All()) {
+	for _, d := range diags {
 		if d.Suppressed {
 			suppressedByCheck[d.Analyzer]++
 			continue
@@ -53,5 +87,14 @@ func TestRepoIsClean(t *testing.T) {
 	// those suppressions stop matching, the deadline gate is not running.
 	if suppressedByCheck["ctxdeadline"] == 0 {
 		t.Error("expected suppressed ctxdeadline findings on the long-lived receive loops")
+	}
+	// The v3 triage annotated the deliberate wall-clock reads in the
+	// observability layer and accepted the hot-path allocation inventory; if
+	// either count drops to zero, the interprocedural layer is not running.
+	if suppressedByCheck["wallclock"] == 0 {
+		t.Error("expected suppressed wallclock findings on the annotated instrumentation sites")
+	}
+	if suppressedByCheck["allochot"] == 0 {
+		t.Error("expected baseline-suppressed allochot findings on the hot-path allocation inventory")
 	}
 }

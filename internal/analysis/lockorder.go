@@ -331,7 +331,8 @@ func (st *lockOrderState) reportAt(pos token.Position, format string, args ...in
 }
 
 // tarjanSCC assigns a component id (≥1) to every node that shares a cycle
-// with at least one other node; acyclic nodes get 0.
+// with at least one other node; acyclic nodes get 0. Built on the shared
+// tarjanComps (callgraph.go), which the call-graph condensation also uses.
 func tarjanSCC(edges map[lockEdge]token.Position) map[string]int {
 	adj := make(map[string][]string)
 	for e := range edges {
@@ -346,52 +347,15 @@ func tarjanSCC(edges map[lockEdge]token.Position) map[string]int {
 	}
 	sort.Strings(nodes)
 
-	index := make(map[string]int)
-	low := make(map[string]int)
-	onStack := make(map[string]bool)
+	_, comps := tarjanComps(nodes, adj)
 	comp := make(map[string]int)
-	var stack []string
-	next, compID := 1, 0
-
-	var strongconnect func(v string)
-	strongconnect = func(v string) {
-		index[v] = next
-		low[v] = next
-		next++
-		stack = append(stack, v)
-		onStack[v] = true
-		for _, w := range adj[v] {
-			if index[w] == 0 {
-				strongconnect(w)
-				if low[w] < low[v] {
-					low[v] = low[w]
-				}
-			} else if onStack[w] && index[w] < low[v] {
-				low[v] = index[w]
+	compID := 0
+	for _, members := range comps {
+		if len(members) > 1 {
+			compID++
+			for _, m := range members {
+				comp[m] = compID
 			}
-		}
-		if low[v] == index[v] {
-			var members []string
-			for {
-				w := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				onStack[w] = false
-				members = append(members, w)
-				if w == v {
-					break
-				}
-			}
-			if len(members) > 1 {
-				compID++
-				for _, m := range members {
-					comp[m] = compID
-				}
-			}
-		}
-	}
-	for _, v := range nodes {
-		if index[v] == 0 {
-			strongconnect(v)
 		}
 	}
 	return comp

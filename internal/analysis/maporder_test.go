@@ -1,0 +1,105 @@
+package analysis
+
+import "testing"
+
+// The acceptance fixture: a map range whose body reaches a journal write.
+// The Journal type mirrors internal/core's (Begin/NoteProbe/Commit are the
+// ordered sinks); each iteration journals in nondeterministic map order.
+func TestMapOrderJournalSink(t *testing.T) {
+	pkg := loadSource(t, "srb/internal/core", `package core
+
+import "sort"
+
+type Journal struct{ n int }
+
+func (j *Journal) Begin(id uint64) { j.n++ }
+
+func (j *Journal) Commit() { j.n++ }
+
+func bad(j *Journal, pending map[uint64]bool) {
+	for id := range pending {
+		j.Begin(id) // map order reaches the journal
+	}
+	j.Commit()
+}
+
+func throughHelper(j *Journal, pending map[uint64]bool) {
+	for id := range pending {
+		emit(j, id) // sink reached through a summarized module call
+	}
+}
+
+func emit(j *Journal, id uint64) { j.Begin(id) }
+
+func good(j *Journal, pending map[uint64]bool) {
+	ids := make([]uint64, 0, len(pending))
+	for id := range pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		j.Begin(id)
+	}
+	j.Commit()
+}
+`)
+	// Line 13: j.Begin directly inside the map range. Line 20: emit(), a
+	// module call whose summary EmitsOrdered. good's collect-then-sort idiom
+	// stays clean.
+	wantLines(t, RunPackage(pkg, []*Analyzer{MapOrder}), []int{13, 20}, nil)
+}
+
+func TestMapOrderCollectThenSort(t *testing.T) {
+	pkg := loadSource(t, "srb/internal/core", `package core
+
+import "sort"
+
+func unsorted(m map[uint64]int) []uint64 {
+	var ids []uint64
+	for id := range m {
+		ids = append(ids, id)
+	}
+	return ids // carries map order
+}
+
+func sorted(m map[uint64]int) []uint64 {
+	ids := make([]uint64, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func scratch(m map[uint64]int) int {
+	total := 0
+	for _, v := range m {
+		tmp := []int{v} // declared inside the range: not a collector
+		total += tmp[0]
+	}
+	return total
+}
+`)
+	wantLines(t, RunPackage(pkg, []*Analyzer{MapOrder}), []int{7}, nil)
+}
+
+func TestMapOrderSuppressedAndUnprotected(t *testing.T) {
+	src := `package core
+
+type Journal struct{ n int }
+
+func (j *Journal) Begin(id uint64) { j.n++ }
+
+func allowed(j *Journal, pending map[uint64]bool) {
+	for id := range pending {
+		j.Begin(id) //lint:allow maporder replay tolerates any order under test
+	}
+}
+`
+	pkg := loadSource(t, "srb/internal/core", src)
+	wantLines(t, RunPackage(pkg, []*Analyzer{MapOrder}), nil, []int{9})
+
+	// The same code outside the deterministic packages is out of scope.
+	out := loadSource(t, "srb/internal/obs", src)
+	wantLines(t, RunPackage(out, []*Analyzer{MapOrder}), nil, nil)
+}

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// RWPurity turns DESIGN.md's concurrency contract into a checked invariant:
+// code running under an RWMutex read lock (ParallelMonitor's concurrent
+// Results/SafeRegion/Stats/SaveSnapshot surface) must be write-free. A write
+// slipping into an RLock region races with every other concurrent reader.
+//
+// For each function that acquires an RLock, a may-analysis over the CFG
+// tracks whether the read lock can be held at each node (a deferred RUnlock
+// never clears it, matching the defer idiom). While held, the analyzer flags:
+//
+//   - direct writes to receiver-reachable or package-level state;
+//   - calls to module functions whose summary writes its receiver (when the
+//     receiver expression is rooted in our receiver or a global), writes its
+//     parameters (when an argument is so rooted), or writes globals;
+//   - calls that can't be summarized — interface methods, stored function
+//     values, non-module methods on receiver-rooted values (mutex ops
+//     excepted) — conservatively, since an unknown callee may mutate.
+//
+// Writes to locals (the collect-then-sort idiom, building return copies) are
+// exactly what read paths should do and stay clean.
+var RWPurity = &Analyzer{
+	Name:      "rwpurity",
+	Doc:       "flags writes to shared state while an RWMutex read lock is held",
+	RunModule: runRWPurity,
+}
+
+func runRWPurity(mp *ModulePass) {
+	st := ipaFor(mp.Pkgs)
+	ids := make([]string, 0, len(st.cg.Nodes))
+	for id := range st.cg.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		checkRWPurity(mp, st, st.cg.Nodes[id])
+	}
+}
+
+// rlockKind classifies a call as a read-lock acquire/release on a
+// sync.RWMutex, or neither.
+type rlockKind int
+
+const (
+	rlockNone rlockKind = iota
+	rlockAcquire
+	rlockRelease
+)
+
+func rlockMethodKind(info *types.Info, call *ast.CallExpr) rlockKind {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return rlockNone
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || typeName(sig.Recv().Type()) != "RWMutex" {
+		return rlockNone
+	}
+	switch fn.Name() {
+	case "RLock", "TryRLock":
+		return rlockAcquire
+	case "RUnlock":
+		return rlockRelease
+	}
+	return rlockNone
+}
+
+// rheld is the dataflow fact: may the read lock be held here?
+type rheld bool
+
+func (r rheld) Equal(o Fact) bool {
+	t, ok := o.(rheld)
+	return ok && r == t
+}
+
+func joinRHeld(a, b Fact) Fact { return rheld(bool(a.(rheld)) || bool(b.(rheld))) }
+
+func checkRWPurity(mp *ModulePass, st *ipa, node *CGNode) {
+	info := node.Pkg.Info
+
+	// Cheap pre-filter: only functions that RLock somewhere need the flow.
+	usesRLock := false
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && rlockMethodKind(info, call) == rlockAcquire {
+			usesRLock = true
+			return false
+		}
+		return true
+	})
+	if !usesRLock {
+		return
+	}
+
+	derived := rootSets(node)
+	// findings dedupes across solver iterations (the transfer function runs
+	// until fixpoint); reported in position order afterwards.
+	findings := make(map[token.Pos]string)
+
+	checkNode := func(n ast.Node, held bool) bool /* still held */ {
+		stillHeld := held
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				return false // separate execution context
+			case *ast.GoStmt:
+				return false // runs after we may have released
+			case *ast.DeferStmt:
+				return false // deferred RUnlock runs at exit: lock stays held
+			case *ast.AssignStmt:
+				if !stillHeld {
+					return true
+				}
+				for _, lhs := range x.Lhs {
+					if k := lhsWriteRoots(info, derived, lhs); k&(fromRecv|fromGlobal) != 0 {
+						findings[lhs.Pos()] = "write to shared state while the RWMutex read lock is held (races with concurrent readers)"
+					}
+				}
+			case *ast.IncDecStmt:
+				if !stillHeld {
+					return true
+				}
+				if k := lhsWriteRoots(info, derived, x.X); k&(fromRecv|fromGlobal) != 0 {
+					findings[x.Pos()] = "write to shared state while the RWMutex read lock is held (races with concurrent readers)"
+				}
+			case *ast.CallExpr:
+				switch rlockMethodKind(info, x) {
+				case rlockAcquire:
+					stillHeld = true
+					return true
+				case rlockRelease:
+					stillHeld = false
+					return true
+				}
+				if !stillHeld || isConversion(info, x) {
+					return true
+				}
+				if b := builtinName(info, x); b != "" {
+					if (b == "delete" || b == "copy" || b == "append") && len(x.Args) > 0 {
+						if k := exprRoots(info, derived, x.Args[0]); k&(fromRecv|fromGlobal) != 0 {
+							findings[x.Pos()] = "builtin " + b + " mutates shared state while the RWMutex read lock is held"
+						}
+					}
+					return true
+				}
+				fn := calleeFunc(info, x)
+				if fn == nil {
+					// Stored function value: unknown effects.
+					if k := exprRoots(info, derived, x); k&(fromRecv|fromGlobal) != 0 {
+						findings[x.Pos()] = "dynamic call on shared state while the RWMutex read lock is held (callee may mutate it)"
+					}
+					return true
+				}
+				if mutexMethodKind(fn) != mutexNone {
+					return true // lock plumbing itself
+				}
+				if recvInterface(fn) != nil {
+					if k := exprRoots(info, derived, x); k&(fromRecv|fromGlobal) != 0 {
+						findings[x.Pos()] = "interface call on shared state while the RWMutex read lock is held (dynamic callee may mutate it)"
+					}
+					return true
+				}
+				if s := st.summaries[funcID(fn)]; s != nil {
+					if s.WritesGlobal {
+						findings[x.Pos()] = "call to " + funcID(fn) + " writes package-level state while the RWMutex read lock is held"
+						return true
+					}
+					if s.WritesReceiver {
+						if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+							if k := exprRoots(info, derived, sel.X); k&(fromRecv|fromGlobal) != 0 {
+								findings[x.Pos()] = "call to " + funcID(fn) + " mutates its receiver while the RWMutex read lock is held"
+								return true
+							}
+						}
+					}
+					if s.WritesParams {
+						for _, arg := range x.Args {
+							if k := exprRoots(info, derived, arg); k&(fromRecv|fromGlobal) != 0 {
+								findings[x.Pos()] = "call to " + funcID(fn) + " mutates shared state passed as an argument while the RWMutex read lock is held"
+								return true
+							}
+						}
+					}
+					return true
+				}
+				// Non-module method on shared state: unknown effects.
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+						if k := exprRoots(info, derived, sel.X); k&(fromRecv|fromGlobal) != 0 {
+							findings[x.Pos()] = "call to external method " + funcID(fn) + " on shared state while the RWMutex read lock is held"
+						}
+					}
+				}
+			}
+			return true
+		})
+		return stillHeld
+	}
+
+	cfg := NewCFG(node.Decl.Body)
+	Solve(cfg, FlowProblem{
+		Entry: rheld(false),
+		Join:  joinRHeld,
+		Transfer: func(b *Block, in Fact) Fact {
+			held := bool(in.(rheld))
+			for _, n := range b.Nodes {
+				held = checkNode(n, held)
+			}
+			return rheld(held)
+		},
+	})
+
+	positions := make([]token.Pos, 0, len(findings))
+	for pos := range findings {
+		positions = append(positions, pos)
+	}
+	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	for _, pos := range positions {
+		mp.Reportf(node.Pkg, pos, "%s", findings[pos])
+	}
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import "testing"
+
+func TestRWPurityDirectWrite(t *testing.T) {
+	pkg := loadSource(t, "srb/internal/fixture", `package fixture
+
+import "sync"
+
+type Mon struct {
+	mu sync.RWMutex
+	n  int
+	m  map[int]int
+}
+
+func (x *Mon) Bad() {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	x.n++ // write to receiver state under the read lock
+}
+
+func (x *Mon) BadMap(k int) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	delete(x.m, k) // builtin mutation of receiver-held map
+}
+
+func (x *Mon) Read() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.n
+}
+
+func (x *Mon) CollectSorted() []int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	out := make([]int, 0, len(x.m))
+	for k := range x.m {
+		out = append(out, k) // local collector: read paths may build copies
+	}
+	return out
+}
+
+func (x *Mon) WriteUnderFullLock() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.n++ // full Lock, not the read lock: out of scope
+}
+
+func (x *Mon) AfterRelease() {
+	x.mu.RLock()
+	n := x.n
+	x.mu.RUnlock()
+	x.n = n + 1 // manual release before the write
+}
+`)
+	wantLines(t, RunPackage(pkg, []*Analyzer{RWPurity}), []int{14, 20}, nil)
+}
+
+func TestRWPurityThroughCallee(t *testing.T) {
+	pkg := loadSource(t, "srb/internal/fixture", `package fixture
+
+import "sync"
+
+type Inner struct{ n int }
+
+func (in *Inner) Bump() { in.n++ }
+
+func (in *Inner) Peek() int { return in.n }
+
+type Mon struct {
+	mu    sync.RWMutex
+	inner *Inner
+}
+
+func (x *Mon) Bad() {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	x.inner.Bump() // callee's summary writes its receiver, rooted in ours
+}
+
+func (x *Mon) Good() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.inner.Peek()
+}
+
+func (x *Mon) LocalMutation() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	tmp := &Inner{}
+	tmp.Bump() // mutates a local, not shared state
+	return tmp.Peek() + x.inner.Peek()
+}
+`)
+	wantLines(t, RunPackage(pkg, []*Analyzer{RWPurity}), []int{19}, nil)
+}
+
+func TestRWPuritySuppressed(t *testing.T) {
+	pkg := loadSource(t, "srb/internal/fixture", `package fixture
+
+import "sync"
+
+type Mon struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (x *Mon) CachedRead() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	x.n++ //lint:allow rwpurity benign counter, protected by its own atomic in prod
+	return x.n
+}
+`)
+	wantLines(t, RunPackage(pkg, []*Analyzer{RWPurity}), nil, []int{13})
+}

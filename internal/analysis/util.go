@@ -44,6 +44,26 @@ func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 	return nil
 }
 
+// builtinName returns the name of the builtin a call invokes ("append",
+// "make", "delete", ...), or "" for anything else. Builtins resolve to
+// *types.Builtin, not *types.Func, so calleeFunc misses them.
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := info.Uses[id].(*types.Builtin); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// isConversion reports whether a call expression is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
 // recvIdent returns the receiver identifier of a method declaration, nil for
 // plain functions or anonymous receivers.
 func recvIdent(fd *ast.FuncDecl) *ast.Ident {

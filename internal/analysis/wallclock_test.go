@@ -1,0 +1,79 @@
+package analysis
+
+import "testing"
+
+func TestWallClockDirect(t *testing.T) {
+	pkg := loadSource(t, "srb/internal/core", `package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() time.Time { return time.Now() }
+
+func badRand() float64 { return rand.Float64() }
+
+func seeded(src rand.Source) float64 { return rand.New(src).Float64() }
+
+func allowed() time.Time {
+	return time.Now() //lint:allow wallclock latency instrumentation under test
+}
+
+func pure(t time.Time) time.Time { return t.Add(time.Second) }
+`)
+	wantLines(t, RunPackage(pkg, []*Analyzer{WallClock}), []int{8, 10}, []int{15})
+}
+
+func TestWallClockUnprotectedPackage(t *testing.T) {
+	pkg := loadSource(t, "srb/internal/obs", `package obs
+
+import "time"
+
+func stamp() time.Time { return time.Now() }
+`)
+	wantLines(t, RunPackage(pkg, []*Analyzer{WallClock}), nil, nil)
+}
+
+// TestWallClockBoundary exercises the interprocedural report shape: a
+// protected package calling into a non-protected module package whose
+// summary is clock-tainted is flagged once, at the boundary call.
+func TestWallClockBoundary(t *testing.T) {
+	pkgs := loadModuleSource(t, []fixturePkg{
+		{path: "srb/internal/obs", src: `package obs
+
+import "time"
+
+// Stamp reads the wall clock (no allow: the taint must propagate).
+func Stamp() time.Time { return time.Now() }
+
+// Span is a deliberate, annotated clock read: the allow keeps it out of
+// the summaries, so callers stay clean.
+func Span() time.Time {
+	return time.Now() //lint:allow wallclock trace timestamps are wall-clock by design
+}
+`},
+		{path: "srb/internal/core", src: `package core
+
+import (
+	"time"
+
+	"srb/internal/obs"
+)
+
+func tainted() time.Time { return obs.Stamp() }
+
+func clean() time.Time { return obs.Span() }
+`},
+	})
+	var diags []Diagnostic
+	for _, d := range Run(pkgs, []*Analyzer{WallClock}) {
+		// The obs fixture's own direct sites are not in a protected package
+		// and produce nothing; everything reported must be in core.
+		diags = append(diags, d)
+	}
+	wantLines(t, diags, []int{9}, nil)
+	if len(diags) == 1 && diags[0].Message != "call into srb/internal/obs.Stamp reaches a wall-clock read from deterministic package srb/internal/core" {
+		t.Errorf("unexpected boundary message: %s", diags[0].Message)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"srb/internal/geom"
+	"srb/internal/query"
+)
+
+// allocWorkload builds the steady-state scenario the allochot baseline is
+// about: a populated monitor with live queries, and one object far from every
+// quarantine area reporting conflict-free movement. Returns the monitor and
+// the two positions the object alternates between.
+func allocWorkload(tb testing.TB) (*Monitor, uint64, [2]geom.Point) {
+	tb.Helper()
+	m := New(Options{Space: geom.R(0, 0, 100, 100)}, ProberFunc(func(id uint64) geom.Point {
+		return geom.Pt(float64(id), float64(id))
+	}), nil)
+	for id := uint64(1); id <= 32; id++ {
+		m.AddObject(id, geom.Pt(float64(id), float64(id)))
+	}
+	if _, _, err := m.RegisterRange(query.ID(1), geom.R(0, 0, 10, 10)); err != nil {
+		tb.Fatal(err)
+	}
+	if _, _, err := m.RegisterKNN(query.ID(2), geom.Pt(5, 5), 3, true); err != nil {
+		tb.Fatal(err)
+	}
+	// Object 90 lives in the far corner, outside every quarantine area and
+	// every result; its updates take the conflict-free path.
+	const mover = uint64(90)
+	m.AddObject(mover, geom.Pt(90, 90))
+	locs := [2]geom.Point{geom.Pt(90, 90), geom.Pt(92, 92)}
+	// Warm up so per-object state and index nodes exist before measuring.
+	for i := 0; i < 4; i++ {
+		m.Update(mover, locs[i%2])
+	}
+	return m, mover, locs
+}
+
+// TestUpdateAllocsBound ratchets the sequential hot path: a steady-state
+// conflict-free Monitor.Update must stay within a fixed allocation budget.
+// The bound is deliberately loose (~2x the measured steady state) so it
+// catches regressions that add allocation sites or per-call slices, not
+// noise; tightening it is the ROADMAP allocation-reduction work. The
+// companion inventory lives in lint/allochot.baseline.
+func TestUpdateAllocsBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	m, mover, locs := allocWorkload(t)
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		m.Update(mover, locs[i%2])
+		i++
+	})
+	const bound = 40.0
+	if avg > bound {
+		t.Errorf("steady-state Update allocates %.1f objects per call, budget %.0f; "+
+			"new hot-path allocation sites must be justified and baselined (lint/allochot.baseline)", avg, bound)
+	}
+}
+
+// BenchmarkUpdateAllocs reports the sequential Update path's per-call
+// allocation profile (run with -benchmem).
+func BenchmarkUpdateAllocs(b *testing.B) {
+	m, mover, locs := allocWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Update(mover, locs[i%2])
+	}
+}

@@ -64,6 +64,8 @@ func (p *PlannedUpdate) Loc() geom.Point { return p.loc }
 //
 // The second return is false when the update is not plannable and must take
 // the sequential path.
+//
+//srb:hotpath
 func (m *Monitor) PlanUpdate(id uint64, p geom.Point) (PlannedUpdate, bool) {
 	st, ok := m.objects[id]
 	if !ok {
@@ -99,6 +101,8 @@ func (m *Monitor) PlanUpdate(id uint64, p geom.Point) (PlannedUpdate, bool) {
 // recomputeSafeRegion would produce, and the sequential Update's effect
 // sequence is replayed without recomputing it. Otherwise it returns false and
 // the caller must fall back to Update.
+//
+//srb:hotpath
 func (m *Monitor) ApplyPlanned(pl *PlannedUpdate) ([]SafeRegionUpdate, bool) {
 	st, ok := m.objects[pl.id]
 	//lint:allow floatcmp plan-cache identity: any bit drift must invalidate the plan

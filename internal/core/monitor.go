@@ -752,6 +752,8 @@ func (m *Monitor) checkCircleContainment(q *query.Query) error {
 // assertInvariants panics on an invariant violation. Under the default build
 // it compiles to nothing; the srbdebug build tag turns it on, making every
 // mutating Monitor operation self-checking.
+//
+//srb:coldpath
 func (m *Monitor) assertInvariants() {
 	if !debugInvariants {
 		return

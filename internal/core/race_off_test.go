@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build; the
+// allocation-bound assertions are meaningless under its inflated counts.
+const raceEnabled = false

@@ -15,6 +15,8 @@ import (
 // lazily), and recomputes the safe regions of the object and of every probed
 // object. The returned slice carries the refreshed safe regions to send back
 // to the clients; the first entry is always the updating object's.
+//
+//srb:hotpath
 func (m *Monitor) Update(id uint64, p geom.Point) []SafeRegionUpdate {
 	st, ok := m.objects[id]
 	if !ok {
@@ -74,7 +76,7 @@ func (m *Monitor) Update(id uint64, p geom.Point) []SafeRegionUpdate {
 func (m *Monitor) reevaluate(q *query.Query, st *objectState, pLst geom.Point) {
 	var t0 time.Time
 	if m.mobs != nil {
-		t0 = time.Now()
+		t0 = time.Now() //lint:allow wallclock latency instrumentation, never in output
 	}
 	m.stats.Reevaluations++
 	before := append([]uint64(nil), q.Results...)

@@ -120,7 +120,7 @@ func (h *Histogram) ObserveSince(start time.Time) {
 	if h == nil {
 		return
 	}
-	h.Observe(time.Since(start).Seconds())
+	h.Observe(time.Since(start).Seconds()) //lint:allow wallclock latency measurement is the histogram's purpose
 }
 
 // Count returns the total number of observations.

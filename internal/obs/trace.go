@@ -47,7 +47,7 @@ func NewTracer(size int) *Tracer {
 	if size <= 0 {
 		size = DefaultTraceDepth
 	}
-	return &Tracer{buf: make([]Event, size), epoch: time.Now()}
+	return &Tracer{buf: make([]Event, size), epoch: time.Now()} //lint:allow wallclock trace timestamps are wall-clock by design
 }
 
 func (t *Tracer) emit(e Event) {
@@ -63,7 +63,7 @@ func (t *Tracer) Span(cat, name string, start time.Time, k1 string, v1 int64, k2
 	if t == nil {
 		return
 	}
-	now := time.Now()
+	now := time.Now() //lint:allow wallclock trace timestamps are wall-clock by design
 	t.emit(Event{
 		TS:  start.Sub(t.epoch).Nanoseconds(),
 		Dur: now.Sub(start).Nanoseconds(),
@@ -91,7 +91,7 @@ func (t *Tracer) Instant(cat, name, k1 string, v1 int64, k2 string, v2 int64) {
 		return
 	}
 	t.emit(Event{
-		TS:  time.Since(t.epoch).Nanoseconds(),
+		TS:  time.Since(t.epoch).Nanoseconds(), //lint:allow wallclock trace timestamps are wall-clock by design
 		Cat: cat, Name: name, K1: k1, V1: v1, K2: k2, V2: v2,
 	})
 }

@@ -79,6 +79,8 @@ func (p *Pipeline) Monitor() *core.Monitor { return p.mon }
 // Apply processes a batch of location updates, equivalent to calling
 // Monitor.Update for every entry in ascending object-ID order, and returns
 // the concatenated safe-region refreshes in that order.
+//
+//srb:hotpath
 func (p *Pipeline) Apply(batch []Update) []core.SafeRegionUpdate {
 	var out []core.SafeRegionUpdate
 	p.ApplyEach(batch, func(_ int, ups []core.SafeRegionUpdate) {
@@ -91,6 +93,8 @@ func (p *Pipeline) Apply(batch []Update) []core.SafeRegionUpdate {
 // refreshes to emit individually, in application order, together with the
 // update's index in the input batch (so callers can route refreshes back to
 // the connection that reported the update).
+//
+//srb:hotpath
 func (p *Pipeline) ApplyEach(batch []Update, emit func(i int, ups []core.SafeRegionUpdate)) {
 	n := len(batch)
 	if n == 0 {
@@ -99,7 +103,7 @@ func (p *Pipeline) ApplyEach(batch []Update, emit func(i int, ups []core.SafeReg
 	var t0 time.Time
 	var before Stats
 	if p.obs != nil {
-		t0 = time.Now()
+		t0 = time.Now() //lint:allow wallclock latency instrumentation, never in output
 		before = p.stats
 	}
 	p.stats.Batches++
@@ -158,7 +162,7 @@ func (p *Pipeline) ApplyEach(batch []Update, emit func(i int, ups []core.SafeReg
 
 	var planDone time.Time
 	if p.obs != nil {
-		planDone = time.Now()
+		planDone = time.Now() //lint:allow wallclock latency instrumentation, never in output
 	}
 
 	// Phase 2 — serial, in application order: fast-apply still-valid plans,
@@ -176,6 +180,6 @@ func (p *Pipeline) ApplyEach(batch []Update, emit func(i int, ups []core.SafeReg
 		emit(i, p.mon.Update(batch[i].ID, batch[i].Loc))
 	}
 	if p.obs != nil {
-		p.obs.done(p, before, t0, planDone, time.Now())
+		p.obs.done(p, before, t0, planDone, time.Now()) //lint:allow wallclock latency instrumentation, never in output
 	}
 }

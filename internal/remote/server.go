@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -586,8 +587,16 @@ func (s *Server) pushRegion(c *clientConn) {
 // immediately.
 func (s *Server) ResyncRegions() error {
 	return s.do(func() {
-		for _, c := range s.clients {
-			s.pushRegion(c)
+		// Push in ascending object-ID order: s.clients is a map, and region
+		// frames interleave with result pushes on the shared codecs, so map
+		// order would leak into the wire stream.
+		ids := make([]uint64, 0, len(s.clients))
+		for id := range s.clients {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			s.pushRegion(s.clients[id])
 		}
 	})
 }
