@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt lint lint-ipa lint-baseline test race debug fuzz-smoke obs-smoke docs
+.PHONY: check build vet fmt lint lint-ipa lint-baseline test race debug fuzz-smoke obs-smoke docs bench-json
 
 check: build vet fmt lint lint-ipa test race debug fuzz-smoke
 
@@ -21,18 +21,21 @@ fmt:
 
 # Project-specific static analysis (internal/analysis): the syntactic checks
 # (floatcmp, lockreentry, sliceescape, bareGoroutine) plus the flow-sensitive
-# v2 suite (lockorder, errdrop, ctxdeadline, distunits) and the
-# interprocedural v3 suite (maporder, wallclock, allochot, rwpurity). Fails on
-# any unsuppressed finding; known hot-path allocation sites are accepted
-# through lint/allochot.baseline.
+# v2 suite (lockorder, errdrop, ctxdeadline, distunits), the interprocedural
+# v3 suite (maporder, wallclock, allochot, rwpurity) and the v4 contract
+# suite (chanlife, goroleak, protodrift, atomicmix). Fails on any
+# unsuppressed finding; known hot-path allocation sites are accepted through
+# lint/allochot.baseline.
 lint:
 	$(GO) run ./cmd/srb-lint -baseline lint/allochot.baseline ./...
 
-# Only the interprocedural determinism/allocation suite: fails on any
-# maporder/wallclock/rwpurity finding, and on allochot sites not in the
-# checked-in baseline (the allocation ratchet).
+# Only the interprocedural and contract suites: fails on any
+# maporder/wallclock/rwpurity finding, on allochot sites not in the
+# checked-in baseline (the allocation ratchet), and on any
+# chanlife/goroleak/protodrift/atomicmix concurrency- or wire-contract
+# violation.
 lint-ipa:
-	$(GO) run ./cmd/srb-lint -checks maporder,wallclock,allochot,rwpurity -baseline lint/allochot.baseline ./...
+	$(GO) run ./cmd/srb-lint -checks maporder,wallclock,allochot,rwpurity,chanlife,goroleak,protodrift,atomicmix -baseline lint/allochot.baseline ./...
 
 # Regenerate the accepted hot-path allocation inventory after intentional
 # changes; the output is deterministic, so the diff shows exactly the sites
@@ -75,3 +78,10 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzIrlpCircleComplement -fuzztime=10s ./internal/geom/
 	$(GO) test -fuzz=FuzzTreeOps -fuzztime=10s ./internal/rtree/
 	$(GO) test -fuzz=FuzzCFG -fuzztime=10s ./internal/analysis/
+	$(GO) test -fuzz=FuzzProtoDriftExtract -fuzztime=10s ./internal/analysis/
+
+# Machine-readable update-path benchmark snapshot: the sequential and batch
+# update benchmarks with -benchmem, parsed into BENCH_PR7.json (op, ns/op,
+# allocs/op, fast-path fraction) for the sharding work to diff against.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkUpdateSequential$$|BenchmarkUpdateBatch$$' -benchmem . | $(GO) run ./cmd/srb-benchjson -out BENCH_PR7.json

@@ -1,0 +1,120 @@
+// Command srb-benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON snapshot. Each benchmark result line becomes one
+// object with the operation name (GOMAXPROCS suffix stripped), iteration
+// count, ns/op, B/op and allocs/op when -benchmem is on, and any custom
+// b.ReportMetric series (the update benchmarks report fastpath-fraction).
+// Objects are emitted in input order, so the file is deterministic for a
+// deterministic benchmark list and diffs cleanly between runs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Update' -benchmem . | srb-benchjson -out BENCH.json
+//
+// Lines that are not benchmark results (the goos/goarch header, PASS, ok) are
+// ignored. A run with zero parsed results is an error: it means the bench
+// pattern matched nothing and the snapshot would silently be empty.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line. Metrics holds the custom b.ReportMetric
+// series keyed by unit (e.g. "fastpath-fraction").
+type result struct {
+	Op          string             `json:"op"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if r, ok := parseBenchLine(line); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("read stdin: %v", err)
+	}
+	if len(results) == 0 {
+		fatalf("no benchmark result lines on stdin: check the -bench pattern")
+	}
+
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fatalf("encode: %v", err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "srb-benchjson: wrote %d result(s) to %s\n", len(results), *out)
+}
+
+// parseBenchLine parses one `Benchmark<Name>-P  N  v1 unit1  v2 unit2 ...`
+// line. Reports ok=false for anything else.
+func parseBenchLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Op: name, Iterations: iters}
+	// The remainder is value/unit pairs.
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		seen = true
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+	}
+	return r, seen
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "srb-benchjson: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -12,7 +12,15 @@
 // sinks), wallclock (time.Now/global-rand reads reachable from the
 // deterministic packages), allochot (allocation sites reachable from
 // //srb:hotpath roots, gated by a checked-in baseline) and rwpurity (writes
-// under an RWMutex read lock).
+// under an RWMutex read lock) — and the v4 contract checks combining the
+// call graph, the CFG engine and the type checker's constant information:
+// chanlife (channel lifecycle: sends with no receiver, receive-side or
+// unguarded double closes, blocking channel operations under a mutex),
+// goroleak (goroutines in cmd/, internal/remote and internal/parallel whose
+// infinite loops have no channel/context/error-gated exit), protodrift (wire
+// and journal protocol constants unhandled in dispatch switches or never
+// produced) and atomicmix (fields accessed both via sync/atomic and plain
+// loads/stores).
 //
 // Usage:
 //

@@ -22,8 +22,16 @@
 // reads reaching the deterministic packages (wallclock), allocation sites
 // reachable from //srb:hotpath roots against a checked-in baseline
 // (allochot), and writes performed under ParallelMonitor's read lock
-// (rwpurity). See the individual files for the rules, DESIGN.md §8 for the
-// dataflow engine and §12 for the interprocedural layer.
+// (rwpurity). The contract checks, combining the call graph, the CFG engine
+// and the type checker's constant information: channel lifecycle — sends
+// without receivers, receive-side or double closes, blocking channel
+// operations under a mutex (chanlife); goroutine termination — infinite
+// loops in the long-running surfaces with no channel/context/error-gated
+// exit (goroleak); protocol exhaustiveness — wire and journal string
+// constants unhandled in dispatch switches or never produced (protodrift);
+// and atomic/plain access mixing on the same field (atomicmix). See the
+// individual files for the rules, DESIGN.md §8 for the dataflow engine,
+// §12 for the interprocedural layer and §13 for the contract checks.
 //
 // # Suppressions
 //
@@ -107,13 +115,15 @@ func (p *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ..
 	})
 }
 
-// All returns the full analyzer suite in stable order. The last four are the
-// interprocedural (call-graph + summary) checks; see callgraph.go and
-// summary.go for the machinery they share.
+// All returns the full analyzer suite in stable order: the syntactic checks,
+// then the flow-sensitive ones, then the interprocedural (call-graph +
+// summary) checks, then the concurrency/wire contract checks; see
+// callgraph.go and summary.go for the machinery the latter two tiers share.
 func All() []*Analyzer {
 	return []*Analyzer{FloatCmp, LockReentry, SliceEscape, BareGoroutine,
 		MissingDoc, LockOrder, ErrDrop, CtxDeadline, DistUnits,
-		MapOrder, WallClock, AllocHot, RWPurity}
+		MapOrder, WallClock, AllocHot, RWPurity,
+		ChanLife, GoroLeak, ProtoDrift, AtomicMix}
 }
 
 // ByName resolves a comma-separated analyzer list; empty selects all.

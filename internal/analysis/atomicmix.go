@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicmix.go flags state that is accessed both through sync/atomic and
+// through plain loads/stores. Mixing the two voids the atomicity guarantee:
+// the plain access races the atomic ones, and the race detector only catches
+// it when both sides actually collide under test. The classic drift is a
+// counter introduced as atomic (incremented from goroutines) that later
+// grows a plain `s.n = 0` reset or an unguarded read in a stats snapshot.
+//
+// Tracked state is identified like lockorder's mutexes: "pkg.Type.field" for
+// a struct field passed by address to an atomic function, "pkg.var" for a
+// package-level variable. Locals are skipped — an atomically-updated local
+// (the work-stealing counter in internal/parallel) is visible to exactly the
+// goroutines that capture it, and its plain initialization `var next int64`
+// is inherent. The typed atomics (atomic.Int64 & friends) are method-only
+// and cannot be mixed, so they need no checking.
+//
+// Module-wide, two passes: collect every field/global whose address reaches
+// a sync/atomic call, then flag every access to those keys that is not
+// itself the operand of an atomic call. Reads under a mutex that happen to
+// be safe by protocol still count — the point is one discipline per field —
+// and carry a //lint:allow atomicmix annotation saying why.
+var AtomicMix = &Analyzer{
+	Name:      "atomicmix",
+	Doc:       "flags fields accessed both via sync/atomic and plain loads/stores across the module",
+	RunModule: runAtomicMix,
+}
+
+// atomicSite is one sync/atomic access to a tracked key.
+type atomicSite struct {
+	pkg *Package
+	pos token.Pos
+}
+
+func runAtomicMix(mp *ModulePass) {
+	// Pass 1: keys accessed atomically, and the exact operand nodes (the X
+	// in &X) that are legitimate atomic accesses.
+	atomicKeys := make(map[string]atomicSite) // key → first atomic site
+	operand := make(map[ast.Expr]bool)
+	for _, pkg := range mp.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true // typed atomics are method-only and unmixable
+				}
+				for _, arg := range call.Args {
+					u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || u.Op != token.AND {
+						continue
+					}
+					target := ast.Unparen(u.X)
+					key := atomicKeyOf(pkg, target)
+					if key == "" {
+						continue
+					}
+					operand[target] = true
+					if _, seen := atomicKeys[key]; !seen {
+						atomicKeys[key] = atomicSite{pkg, u.X.Pos()}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicKeys) == 0 {
+		return
+	}
+
+	// Pass 2: plain accesses to the same keys.
+	for _, pkg := range mp.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				e, ok := n.(ast.Expr)
+				if !ok || operand[e] {
+					return true
+				}
+				switch e.(type) {
+				case *ast.SelectorExpr, *ast.Ident:
+				default:
+					return true
+				}
+				key := atomicKeyOf(pkg, e)
+				if key == "" {
+					return true
+				}
+				site, tracked := atomicKeys[key]
+				if !tracked {
+					return true
+				}
+				first := site.pkg.Fset.Position(site.pos)
+				mp.Reportf(pkg, e.Pos(),
+					"plain access to %s, which is accessed via sync/atomic at %s:%d: mixing atomic and non-atomic access voids the atomicity guarantee",
+					key, first.Filename, first.Line)
+				// A selector's base identifier must not re-trigger on itself.
+				return false
+			})
+		}
+	}
+}
+
+// atomicKeyOf names the abstract storage an expression denotes, for mix
+// tracking: a field of a named type or a package-level variable. Locals,
+// map/slice elements and anything else return "".
+func atomicKeyOf(pkg *Package, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			if _, isPkg := pkg.Info.Uses[id].(*types.PkgName); isPkg {
+				if obj := pkg.Info.Uses[x.Sel]; obj != nil && isPackageVar(obj) {
+					return obj.Pkg().Path() + "." + obj.Name()
+				}
+				return ""
+			}
+		}
+		// Only a variable field counts (methods and qualified funcs do not).
+		if obj := pkg.Info.Uses[x.Sel]; obj != nil {
+			if _, isVar := obj.(*types.Var); !isVar {
+				return ""
+			}
+		}
+		if named := namedOf(pkg.Info.TypeOf(x.X)); named != nil {
+			return qualifiedTypeName(named) + "." + x.Sel.Name
+		}
+	case *ast.Ident:
+		// Uses only: the declaration of a package variable is not an access.
+		if obj := pkg.Info.Uses[x]; obj != nil && isPackageVar(obj) {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	}
+	return ""
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import "testing"
+
+// Mixed-discipline access: a field and a package variable updated through
+// sync/atomic are flagged at every plain load or store; locals and the
+// method-only typed atomics are out of scope.
+func TestAtomicMix(t *testing.T) {
+	pkg := loadSource(t, "srb/internal/fixture", `package fixture
+
+import "sync/atomic"
+
+type C struct{ n int64 }
+
+func (c *C) inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *C) read() int64 { return c.n } // plain load
+
+func (c *C) reset() { c.n = 0 } // plain store
+
+var hits int64
+
+func bump() { atomic.AddInt64(&hits, 1) }
+
+func total() int64 { return atomic.LoadInt64(&hits) }
+
+func raw() int64 { return hits } // plain load of a package var
+
+func local(n int) int64 {
+	var next int64
+	for i := 0; i < n; i++ {
+		atomic.AddInt64(&next, 1)
+	}
+	return next // locals are skipped: visibility is bounded by the captures
+}
+
+type T struct{ v atomic.Int64 }
+
+func (t *T) use() int64 {
+	t.v.Add(1) // typed atomics are method-only and cannot be mixed
+	return t.v.Load()
+}
+
+func snapshot(c *C) int64 {
+	return c.n //lint:allow atomicmix read under the owner's lock in tests
+}
+`)
+	wantLines(t, RunPackage(pkg, []*Analyzer{AtomicMix}), []int{9, 11, 19}, []int{37})
+}
+
+// The atomic operand itself is not a plain access, even through parentheses,
+// and an alias taken outside an atomic call counts as plain.
+func TestAtomicMixAliases(t *testing.T) {
+	pkg := loadSource(t, "srb/internal/fixture", `package fixture
+
+import "sync/atomic"
+
+type G struct{ seq uint64 }
+
+func (g *G) next() uint64 { return atomic.AddUint64((&g.seq), 1) }
+
+func (g *G) leak() *uint64 { return &g.seq } // aliased outside atomic
+`)
+	wantLines(t, RunPackage(pkg, []*Analyzer{AtomicMix}), []int{9}, nil)
+}

@@ -1,0 +1,318 @@
+package analysis
+
+// goroleak.go upgrades the AST-level bareGoroutine check to a flow-sensitive
+// termination analysis: every goroutine started in the long-running process
+// surfaces — cmd/, internal/remote, internal/parallel — must have an exit
+// path gated by a shutdown signal. BareGoroutine proves a goroutine is
+// *observable* (panic recovery or lifecycle tracking); goroleak proves it is
+// *stoppable*: an infinite loop inside one must have a reachable exit whose
+// governing condition involves a channel receive (done-channel or select
+// case), a context (ctx.Done()/ctx.Err()), or an error check (the
+// connection-close gate of the read loops).
+//
+// The suspect shape is `for { ... }` with no condition. Loops with a
+// condition and ranges are assumed bounded by their iteration clause (a
+// range over a channel ends when the channel closes). An exit is a return,
+// a break reaching the loop, or a terminal call (panic, os.Exit); it is
+// *gated* when some enclosing if-condition mentions a receive expression, an
+// error-typed comparison, or a Done()/Err() call — or when it sits in the
+// body of a select communication clause. A counter-gated exit
+// (`if i >= n { return }`) is deliberately NOT accepted: it proves the loop
+// bounded only if the counter is, which this analysis cannot see — annotate
+// such loops with //lint:allow goroleak and say why.
+//
+// Ungated loops propagate bottom-up over the call graph, so `go s.run()` is
+// checked against run's body and everything run calls. Loops inside nested
+// `go` statements belong to the nested goroutine and are checked at its own
+// go site, not the spawner's summary.
+//
+// Known imprecision (DESIGN.md §13): gates are recognized syntactically
+// (a boolean derived from a receive two statements earlier is missed);
+// closures called through stored function values contribute no summary;
+// callee summaries fold closures in, over-approximating loops that the
+// callee only runs conditionally.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroLeak proves every goroutine in cmd/, internal/remote and
+// internal/parallel has a gated exit path.
+var GoroLeak = &Analyzer{
+	Name:      "goroleak",
+	Doc:       "flags goroutines in cmd/, internal/remote and internal/parallel whose infinite loops have no channel/context/error-gated exit",
+	RunModule: runGoroLeak,
+}
+
+// goroLeakProtected matches the long-running process surfaces.
+func goroLeakProtected(path, moduleName string) bool {
+	if strings.Contains(path, "/cmd/") || strings.HasPrefix(path, "cmd/") {
+		return true
+	}
+	return protectedPkg(path, moduleName, []string{"internal/remote", "internal/parallel"}) &&
+		path != moduleName // the root package is not a goroutine surface
+}
+
+func runGoroLeak(mp *ModulePass) {
+	st := ipaFor(mp.Pkgs)
+	moduleName := moduleNameOf(mp.Pkgs)
+
+	// Bottom-up loop summaries: witness[id] is the position of one ungated
+	// infinite loop reachable from id (its own body first, else a callee's).
+	witness := make(map[string]token.Position)
+	for _, comp := range st.cg.Comps {
+		for _, id := range comp {
+			node := st.cg.Nodes[id]
+			if node == nil {
+				continue
+			}
+			if loops := ungatedLoops(node.Pkg.Info, node.Decl.Body); len(loops) > 0 {
+				witness[id] = node.Pkg.Fset.Position(loops[0])
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, id := range comp {
+				node := st.cg.Nodes[id]
+				if node == nil {
+					continue
+				}
+				if _, ok := witness[id]; ok {
+					continue
+				}
+				for _, callee := range node.Callees {
+					if w, ok := witness[callee]; ok {
+						witness[id] = w
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+
+	for _, pkg := range mp.Pkgs {
+		if !goroLeakProtected(pkg.Path, moduleName) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(mp, st, pkg, gs, witness)
+				return true
+			})
+		}
+	}
+}
+
+// checkGoStmt verifies one go statement: its literal body's own loops, then
+// the summaries of everything the body (or the named callee) calls.
+func checkGoStmt(mp *ModulePass, st *ipa, pkg *Package, gs *ast.GoStmt, witness map[string]token.Position) {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		if loops := ungatedLoops(pkg.Info, lit.Body); len(loops) > 0 {
+			p := pkg.Fset.Position(loops[0])
+			mp.Reportf(pkg, gs.Pos(),
+				"goroutine runs an infinite loop (line %d) with no exit gated by a channel receive, context, or error check: it cannot be shut down", p.Line)
+			return
+		}
+		reportLoopingCallees(mp, st, pkg, gs, lit.Body, witness)
+		return
+	}
+	fn := calleeFunc(pkg.Info, gs.Call)
+	if fn == nil {
+		return // body out of view; bareGoroutine already flags this
+	}
+	id := funcID(fn)
+	if w, ok := witness[id]; ok {
+		mp.Reportf(pkg, gs.Pos(),
+			"goroutine calls %s, which can run an infinite loop (%s:%d) with no exit gated by a channel receive, context, or error check: it cannot be shut down",
+			id, w.Filename, w.Line)
+	}
+}
+
+// reportLoopingCallees flags module calls inside a goroutine literal whose
+// summaries carry an ungated loop.
+func reportLoopingCallees(mp *ModulePass, st *ipa, pkg *Package, gs *ast.GoStmt, body *ast.BlockStmt, witness map[string]token.Position) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false // a nested goroutine is checked at its own site
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg.Info, call)
+		if fn == nil {
+			return true
+		}
+		id := funcID(fn)
+		if w, ok := witness[id]; ok {
+			mp.Reportf(pkg, gs.Pos(),
+				"goroutine calls %s, which can run an infinite loop (%s:%d) with no exit gated by a channel receive, context, or error check: it cannot be shut down",
+				id, w.Filename, w.Line)
+			return false
+		}
+		return true
+	})
+}
+
+// ungatedLoops returns the positions of condition-less for loops in the body
+// with no gated exit. Loops inside nested go statements are excluded (they
+// run in a different goroutine); loops inside non-go closures are folded in,
+// like everywhere else in the interprocedural layer.
+func ungatedLoops(info *types.Info, body *ast.BlockStmt) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		fs, ok := n.(*ast.ForStmt)
+		if !ok || fs.Cond != nil {
+			return true
+		}
+		if !loopHasGatedExit(info, fs) {
+			out = append(out, fs.Pos())
+		}
+		return true // nested loops are judged on their own
+	})
+	return out
+}
+
+// loopHasGatedExit walks the loop body looking for a return, loop-reaching
+// break, or terminal call whose enclosing condition chain includes an
+// accepted gate.
+func loopHasGatedExit(info *types.Info, loop *ast.ForStmt) bool {
+	found := false
+	var visit func(s ast.Stmt, gates int, breakCaptured bool)
+	exit := func(gates int) {
+		if gates > 0 {
+			found = true
+		}
+	}
+	visit = func(s ast.Stmt, gates int, breakCaptured bool) {
+		if s == nil || found {
+			return
+		}
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			for _, st := range s.List {
+				visit(st, gates, breakCaptured)
+			}
+		case *ast.LabeledStmt:
+			visit(s.Stmt, gates, breakCaptured)
+		case *ast.IfStmt:
+			g := gates
+			if gatedCond(info, s.Cond) {
+				g++
+			}
+			visit(s.Body, g, breakCaptured)
+			visit(s.Else, g, breakCaptured)
+		case *ast.ForStmt:
+			visit(s.Body, gates, true)
+		case *ast.RangeStmt:
+			visit(s.Body, gates, true)
+		case *ast.SwitchStmt:
+			visit(s.Body, gates, true)
+		case *ast.TypeSwitchStmt:
+			visit(s.Body, gates, true)
+		case *ast.CaseClause:
+			for _, st := range s.Body {
+				visit(st, gates, breakCaptured)
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				g := gates
+				if cc.Comm != nil {
+					g++ // a ready communication is itself the gate
+				}
+				for _, st := range cc.Body {
+					visit(st, g, true)
+				}
+			}
+		case *ast.ReturnStmt:
+			exit(gates)
+		case *ast.BranchStmt:
+			switch s.Tok {
+			case token.BREAK:
+				if s.Label != nil || !breakCaptured {
+					exit(gates)
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isTerminalCall(call) {
+				exit(gates)
+			}
+		}
+		// GoStmt, DeferStmt, FuncLit bodies: different execution context.
+	}
+	visit(loop.Body, 0, false)
+	return found
+}
+
+// gatedCond reports whether a condition expression involves an accepted
+// shutdown signal: a channel receive, an error-typed comparison operand, or
+// a no-argument Done()/Err() call (the context idiom).
+func gatedCond(info *types.Info, cond ast.Expr) bool {
+	if cond == nil {
+		return false
+	}
+	gated := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				gated = true
+				return false
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				if isErrorType(info.TypeOf(n.X)) || isErrorType(info.TypeOf(n.Y)) {
+					gated = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && len(n.Args) == 0 {
+				if sel.Sel.Name == "Done" || sel.Sel.Name == "Err" {
+					gated = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return gated
+}
+
+// isErrorType reports whether t is the built-in error interface (or an
+// interface embedding it under the same name).
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+		return true
+	}
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	for i := 0; i < iface.NumMethods(); i++ {
+		if iface.Method(i).Name() == "Error" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import "testing"
+
+// Termination gates on goroutines in a protected package: a bare infinite
+// loop and a looping named callee fire; select-comm, error-comparison and
+// Done()-style gates are accepted; a counter gate is rejected by design and
+// carries the allow annotation.
+func TestGoroLeakGates(t *testing.T) {
+	pkg := loadSource(t, "srb/internal/remote", `package remote
+
+type R struct {
+	done chan struct{}
+	work chan int
+}
+
+func (r *R) Run() {
+	go r.spin()
+	go func() {
+		for {
+		}
+	}()
+	go func() {
+		for {
+			select {
+			case <-r.done:
+				return
+			case w := <-r.work:
+				_ = w
+			}
+		}
+	}()
+	go r.gated()
+	go r.ctxStyle()
+}
+
+func (r *R) spin() {
+	for {
+	}
+}
+
+func (r *R) gated() {
+	for {
+		if r.poll() != nil {
+			return
+		}
+	}
+}
+
+func (r *R) ctxStyle() {
+	for {
+		if r.Err() != nil {
+			return
+		}
+	}
+}
+
+func (r *R) poll() error { return nil }
+
+func (r *R) Err() error { return nil }
+
+func counters(n int) {
+	//lint:allow goroleak exit is counter-gated and bounded by n
+	go func() {
+		i := 0
+		for {
+			i++
+			if i >= n {
+				return
+			}
+		}
+	}()
+}
+`)
+	// Line 9: go r.spin(), flagged through spin's summary. Line 10: the
+	// literal with a bare infinite loop. The select-gated, error-gated and
+	// Err()-gated goroutines stay clean; the counter-gated one is suppressed.
+	wantLines(t, RunPackage(pkg, []*Analyzer{GoroLeak}), []int{9, 10}, []int{55})
+}
+
+// The protected-surface scope: the same ungated loop in a package outside
+// cmd/, internal/remote and internal/parallel is not goroleak's business
+// (bareGoroutine still governs observability there).
+func TestGoroLeakScope(t *testing.T) {
+	src := `package p
+
+func run() {
+	go func() {
+		for {
+		}
+	}()
+}
+`
+	pkg := loadSource(t, "srb/internal/geom", src)
+	wantLines(t, RunPackage(pkg, []*Analyzer{GoroLeak}), nil, nil)
+	pkg = loadSource(t, "srb/cmd/srb-server", src)
+	wantLines(t, RunPackage(pkg, []*Analyzer{GoroLeak}), []int{4}, nil)
+}
+
+// Transitive witness propagation: the loop sits two calls below the go
+// statement, and the report names the callee actually spawned.
+func TestGoroLeakTransitiveWitness(t *testing.T) {
+	pkg := loadSource(t, "srb/internal/parallel", `package parallel
+
+func Start() {
+	go outer()
+}
+
+func outer() { inner() }
+
+func inner() {
+	for {
+	}
+}
+`)
+	wantLines(t, RunPackage(pkg, []*Analyzer{GoroLeak}), []int{4}, nil)
+}

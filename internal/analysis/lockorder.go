@@ -114,7 +114,7 @@ func (st *lockOrderState) index() {
 						return true
 					}
 					if kind := mutexMethodKind(fn); kind == lockAcquire {
-						if key := st.lockKeyOf(pkg, call); key != "" {
+						if key := lockKeyOf(pkg, call); key != "" {
 							locks[key] = true
 						}
 					} else if kind == mutexNone {
@@ -258,7 +258,7 @@ func (st *lockOrderState) transferNode(pkg *Package, node ast.Node, held lockSet
 				if n == deferred {
 					return true // defer mu.Lock() — acquiring at exit; ignore
 				}
-				key := st.lockKeyOf(pkg, n)
+				key := lockKeyOf(pkg, n)
 				if key == "" {
 					return true
 				}
@@ -274,7 +274,7 @@ func (st *lockOrderState) transferNode(pkg *Package, node ast.Node, held lockSet
 				if n == deferred {
 					return true // defer mu.Unlock(): held to function end
 				}
-				if key := st.lockKeyOf(pkg, n); key != "" {
+				if key := lockKeyOf(pkg, n); key != "" {
 					held = held.without(key)
 				}
 			default:
@@ -405,8 +405,10 @@ func mutexMethodKind(fn *types.Func) mutexKind {
 
 // lockKeyOf derives the declaration-site key of the mutex a Lock/Unlock call
 // operates on: "pkg.Type.field", "pkg.var", "pkg.Type.(embedded)", or a
-// line-qualified local name. Empty when the shape is unrecognizable.
-func (st *lockOrderState) lockKeyOf(pkg *Package, call *ast.CallExpr) string {
+// line-qualified local name. Empty when the shape is unrecognizable. A free
+// function (not a lockOrderState method) because chanlife reuses it to name
+// the mutexes held around blocking channel operations.
+func lockKeyOf(pkg *Package, call *ast.CallExpr) string {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return ""

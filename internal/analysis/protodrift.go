@@ -1,0 +1,327 @@
+package analysis
+
+// protodrift.go is the protocol-exhaustiveness analyzer: the wire-contract
+// half of the v4 suite (chanlife.go is the concurrency half). The module's
+// two protocols — the wire.T* message-type constants and the journal Op/Kind
+// string sets in internal/core — are each a closed set of string constants
+// dispatched over by switches (server.handle loops, client read loops, the
+// journal replay). Adding a kind to the producer without teaching every
+// dispatcher is the classic drift bug: the seeded-fixture test proves a
+// journal kind written but not replayed fails the lint gate.
+//
+// Extraction: every top-level const block in a package whose path ends in
+// internal/wire or internal/core contributes its string-valued constants,
+// identified by "pkgpath.Name" (object identity is useless across the
+// loader's re-checked test variants). A block is split into *subgroups* at
+// each spec carrying its own doc comment — the wire block's direction
+// comments ("Client → server.", ...) partition the message types into the
+// four directional sub-protocols, and exhaustiveness is judged per
+// direction: a client-frame switch need not handle server-bound types.
+//
+// Checks, over every package in the module:
+//
+//   - unhandled kind: a switch whose cases mention at least two members of a
+//     subgroup must mention all of them. A default clause does NOT count as
+//     handling — defaults are for corrupt input, and routing a real protocol
+//     kind through one is exactly the drift this check exists to catch.
+//   - dead kind: a member of an actively-dispatched subgroup (some switch
+//     mentions ≥2 of its members) that is never *produced* — every use in
+//     the module is a case label or an ==/!= comparison. Nothing ever sends
+//     or writes it, so either the producer is missing or the kind is dead
+//     weight in every dispatcher.
+//
+// A string literal in a case clause that equals exactly one member's value
+// counts as handling that member (pre-refactor code dispatches on raw
+// literals); production is only recognized through the named constant.
+//
+// Known imprecision (DESIGN.md §13): if-chains (m.Type == wire.TResults)
+// are consumption but not exhaustiveness-checked — only switches are;
+// constants threaded through variables before the switch are not traced.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ProtoDrift verifies every protocol constant is produced somewhere and
+// handled in every consuming dispatch switch.
+var ProtoDrift = &Analyzer{
+	Name:      "protodrift",
+	Doc:       "flags protocol/journal string constants unhandled in dispatch switches or never produced (dead kinds)",
+	RunModule: runProtoDrift,
+}
+
+// protoConstPkgs lists the path suffixes of the protocol-defining packages.
+var protoConstPkgs = []string{"internal/wire", "internal/core"}
+
+// protoMember is one string constant of a protocol subgroup.
+type protoMember struct {
+	key      string // "pkgpath.Name": stable across re-checked variants
+	display  string // "pkgname.Name" for report text
+	value    string
+	pkg      *Package
+	pos      token.Pos
+	produced bool
+}
+
+// protoSub is one doc-comment-delimited run of a const block: the unit of
+// exhaustiveness.
+type protoSub struct {
+	label   string
+	members []*protoMember
+	active  bool // some switch dispatches over ≥2 members
+}
+
+func runProtoDrift(mp *ModulePass) {
+	moduleName := moduleNameOf(mp.Pkgs)
+	var subs []*protoSub
+	for _, pkg := range mp.Pkgs {
+		if !protectedPkg(pkg.Path, moduleName, protoConstPkgs) {
+			continue
+		}
+		subs = append(subs, extractProtoSubgroups(pkg)...)
+	}
+	if len(subs) == 0 {
+		return
+	}
+	byKey := make(map[string]*protoMember)
+	subOf := make(map[string]*protoSub)
+	byValue := make(map[string][]*protoMember)
+	for _, sub := range subs {
+		for _, m := range sub.members {
+			byKey[m.key] = m
+			subOf[m.key] = sub
+			byValue[m.value] = append(byValue[m.value], m)
+		}
+	}
+
+	// Pass 1: dispatch switches — exhaustiveness per subgroup — collecting
+	// the identifiers used in consumption contexts along the way.
+	consuming := make(map[*ast.Ident]bool)
+	for _, pkg := range mp.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SwitchStmt:
+					if n.Tag != nil {
+						checkDispatchSwitch(mp, pkg, n, byKey, subOf, byValue, consuming)
+					}
+				case *ast.BinaryExpr:
+					if n.Op == token.EQL || n.Op == token.NEQ {
+						for _, op := range []ast.Expr{n.X, n.Y} {
+							if id, m := protoMemberRef(pkg, op, byKey); m != nil {
+								consuming[id] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: any remaining use of a member is a production.
+	for _, pkg := range mp.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || consuming[id] {
+					return true
+				}
+				c, ok := pkg.Info.Uses[id].(*types.Const)
+				if !ok || c.Pkg() == nil {
+					return true
+				}
+				if m := byKey[c.Pkg().Path()+"."+c.Name()]; m != nil {
+					m.produced = true
+				}
+				return true
+			})
+		}
+	}
+
+	// Dead kinds: unproduced members of actively-dispatched subgroups.
+	for _, sub := range subs {
+		if !sub.active {
+			continue
+		}
+		for _, m := range sub.members {
+			if !m.produced {
+				mp.Reportf(m.pkg, m.pos,
+					"protocol constant %s (%q) is dispatched on but never produced anywhere in the module (dead kind): remove it or add the producer", m.display, m.value)
+			}
+		}
+	}
+}
+
+// checkDispatchSwitch judges one tagged switch against every subgroup it
+// dispatches over (≥2 members mentioned in its cases).
+func checkDispatchSwitch(mp *ModulePass, pkg *Package, sw *ast.SwitchStmt, byKey map[string]*protoMember, subOf map[string]*protoSub, byValue map[string][]*protoMember, consuming map[*ast.Ident]bool) {
+	present := make(map[string]bool) // member key → mentioned in a case
+	var touched []*protoSub
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			var m *protoMember
+			if id, ref := protoMemberRef(pkg, e, byKey); ref != nil {
+				m = ref
+				consuming[id] = true
+			} else if lit, ok := ast.Unparen(e).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+				if v, err := strconv.Unquote(lit.Value); err == nil {
+					if ms := byValue[v]; len(ms) == 1 {
+						m = ms[0] // unambiguous raw-literal dispatch
+					}
+				}
+			}
+			if m == nil {
+				continue
+			}
+			if !present[m.key] {
+				present[m.key] = true
+				sub := subOf[m.key]
+				seen := false
+				for _, t := range touched {
+					if t == sub {
+						seen = true
+					}
+				}
+				if !seen {
+					touched = append(touched, sub)
+				}
+			}
+		}
+	}
+	for _, sub := range touched {
+		mentioned := 0
+		var missing []string
+		for _, m := range sub.members {
+			if present[m.key] {
+				mentioned++
+			} else {
+				missing = append(missing, m.display)
+			}
+		}
+		if mentioned < 2 || len(missing) == 0 {
+			continue // incidental single mention, or fully handled
+		}
+		sub.active = true
+		mp.Reportf(pkg, sw.Pos(),
+			"dispatch switch handles %d of %d constants of %s: missing %s (a default clause does not count as handling a protocol kind)",
+			mentioned, len(sub.members), sub.label, strings.Join(missing, ", "))
+	}
+	// A fully-handled dispatch still activates its subgroups for the
+	// dead-kind check.
+	for _, sub := range touched {
+		mentioned := 0
+		for _, m := range sub.members {
+			if present[m.key] {
+				mentioned++
+			}
+		}
+		if mentioned >= 2 {
+			sub.active = true
+		}
+	}
+}
+
+// protoMemberRef resolves an expression to a protocol member reference,
+// returning the identifier that names the constant (for consumption
+// bookkeeping) and the member.
+func protoMemberRef(pkg *Package, e ast.Expr, byKey map[string]*protoMember) (*ast.Ident, *protoMember) {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil, nil
+	}
+	c, ok := pkg.Info.Uses[id].(*types.Const)
+	if !ok || c.Pkg() == nil {
+		return nil, nil
+	}
+	m := byKey[c.Pkg().Path()+"."+c.Name()]
+	if m == nil {
+		return nil, nil
+	}
+	return id, m
+}
+
+// extractProtoSubgroups pulls the doc-comment-delimited string-constant
+// subgroups out of one package's top-level const blocks. Blocks with fewer
+// than two string constants are not protocols and are skipped.
+func extractProtoSubgroups(pkg *Package) []*protoSub {
+	var subs []*protoSub
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			blockSubs := extractConstBlock(pkg, gd)
+			total := 0
+			for _, s := range blockSubs {
+				total += len(s.members)
+			}
+			if total >= 2 {
+				subs = append(subs, blockSubs...)
+			}
+		}
+	}
+	return subs
+}
+
+// extractConstBlock splits one const GenDecl into subgroups at each spec
+// carrying its own doc comment.
+func extractConstBlock(pkg *Package, gd *ast.GenDecl) []*protoSub {
+	var subs []*protoSub
+	var cur *protoSub
+	label := func(first *protoMember, doc *ast.CommentGroup) string {
+		if doc != nil {
+			if line := strings.TrimSpace(strings.TrimPrefix(strings.SplitN(doc.Text(), "\n", 2)[0], "//")); line != "" {
+				return first.pkg.Types.Name() + " group " + strings.TrimSuffix(line, ".") + ""
+			}
+		}
+		return first.pkg.Types.Name() + " group starting at " + first.display
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		if vs.Doc != nil && cur != nil && len(cur.members) > 0 {
+			cur = nil // a documented spec starts the next subgroup
+		}
+		for _, name := range vs.Names {
+			c, ok := pkg.Info.Defs[name].(*types.Const)
+			if !ok || c.Val().Kind() != constant.String {
+				continue
+			}
+			m := &protoMember{
+				key:     pkg.Path + "." + c.Name(),
+				display: pkg.Types.Name() + "." + c.Name(),
+				value:   constant.StringVal(c.Val()),
+				pkg:     pkg,
+				pos:     name.Pos(),
+			}
+			if cur == nil {
+				cur = &protoSub{}
+				cur.label = label(m, vs.Doc)
+				subs = append(subs, cur)
+			}
+			cur.members = append(cur.members, m)
+		}
+	}
+	// Singleton subgroups stay in the list for production bookkeeping, but
+	// can never fire a check: exhaustiveness needs ≥2 mentions in a switch,
+	// and the dead-kind check needs the activity that implies.
+	return subs
+}

@@ -1,0 +1,247 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// Exhaustiveness over doc-comment subgroups of the wire const block: a
+// dispatch switch mentioning two of a direction's three types must mention
+// the third; a default clause does not count, but an unambiguous raw string
+// literal does; a switch over the other direction is judged only against
+// that direction's members.
+func TestProtoDriftDispatchExhaustiveness(t *testing.T) {
+	pkgs := loadModuleSource(t, []fixturePkg{
+		{path: "srb/internal/wire", src: `package wire
+
+// Message types.
+const (
+	// Client → server.
+	THello  = "hello"
+	TUpdate = "update"
+	TBye    = "bye"
+	// Server → client.
+	TPing = "ping"
+	TPong = "pong"
+)
+`},
+		{path: "srb/internal/remote", src: `package remote
+
+import "srb/internal/wire"
+
+func produce() []string {
+	return []string{wire.THello, wire.TUpdate, wire.TBye, wire.TPing, wire.TPong}
+}
+
+func incomplete(t string) int {
+	switch t {
+	case wire.THello:
+		return 1
+	case wire.TUpdate:
+		return 2
+	default:
+		return 0
+	}
+}
+
+func rawLiteral(t string) int {
+	switch t {
+	case wire.THello:
+		return 1
+	case wire.TUpdate:
+		return 2
+	case "bye":
+		return 3
+	}
+	return 0
+}
+
+func otherDirection(t string) bool {
+	switch t {
+	case wire.TPing:
+		return true
+	case wire.TPong:
+		return false
+	}
+	return false
+}
+
+func suppressed(t string) int {
+	switch t { //lint:allow protodrift TBye handled by the session teardown path
+	case wire.THello:
+		return 1
+	case wire.TUpdate:
+		return 2
+	}
+	return 0
+}
+`},
+	})
+	// fixture1 line 10: incomplete misses TBye. rawLiteral's "bye" case and
+	// otherDirection's full Server → client coverage are clean; the annotated
+	// switch is suppressed.
+	wantLines(t, Run(pkgs, []*Analyzer{ProtoDrift}), []int{10}, []int{43})
+}
+
+// Dead kinds: a member of an actively-dispatched subgroup that every use
+// merely compares or switches on — nothing produces it.
+func TestProtoDriftDeadKind(t *testing.T) {
+	pkgs := loadModuleSource(t, []fixturePkg{
+		{path: "srb/internal/wire", src: `package wire
+
+// Server → client frames.
+const (
+	TPing = "ping"
+	TPong = "pong"
+)
+`},
+		{path: "srb/internal/remote", src: `package remote
+
+import "srb/internal/wire"
+
+func producePing() string { return wire.TPing }
+
+func dispatch(t string) bool {
+	switch t {
+	case wire.TPing:
+		return true
+	case wire.TPong:
+		return false
+	}
+	return false
+}
+`},
+	})
+	// TPong (fixture0 line 6) is dispatched on but never produced.
+	wantLines(t, Run(pkgs, []*Analyzer{ProtoDrift}), []int{6}, nil)
+}
+
+// The seeded drift fixture from the issue: a journal kind added to the
+// writer without a replay case fails the gate.
+func TestProtoDriftJournalKindWriterWithoutReplayer(t *testing.T) {
+	pkg := loadSource(t, "srb/internal/core", `package core
+
+// Journal query kinds.
+const (
+	KindRange = "range"
+	KindCount = "count"
+	KindKNN   = "knn"
+)
+
+type Entry struct{ Kind string }
+
+func write(k string) Entry { return Entry{Kind: k} }
+
+func WriteAll() []Entry {
+	return []Entry{write(KindRange), write(KindCount), write(KindKNN)}
+}
+
+func Replay(e Entry) int {
+	switch e.Kind {
+	case KindRange:
+		return 1
+	case KindCount:
+		return 2
+	default:
+		return 0
+	}
+}
+`)
+	// The replay switch (line 19) misses KindKNN even though WriteAll
+	// journals it: exactly the drift protodrift exists to catch.
+	wantLines(t, RunPackage(pkg, []*Analyzer{ProtoDrift}), []int{19}, nil)
+}
+
+// Const blocks outside the protocol packages, and blocks that are not string
+// sets, contribute nothing.
+func TestProtoDriftScope(t *testing.T) {
+	pkg := loadSource(t, "srb/internal/query", `package query
+
+const (
+	KindA = "a"
+	KindB = "b"
+)
+
+func dispatch(k string) int {
+	switch k {
+	case KindA:
+		return 1
+	}
+	return 0
+}
+`)
+	wantLines(t, RunPackage(pkg, []*Analyzer{ProtoDrift}), nil, nil)
+}
+
+// FuzzProtoDriftExtract feeds arbitrary parseable const declarations to the
+// subgroup extractor and asserts the structural invariants: extraction never
+// panics, every emitted subgroup is non-empty with a non-empty label, member
+// keys are unique across the result, and a second extraction over the same
+// package is identical (the determinism the golden gate depends on).
+func FuzzProtoDriftExtract(f *testing.F) {
+	seeds := []string{
+		"const (\n\tA = \"a\"\n\tB = \"b\"\n)",
+		"// Doc.\nconst (\n\t// First group.\n\tA = \"a\"\n\tB = \"b\"\n\t// Second group.\n\tC = \"c\"\n)",
+		"const (\n\tA = iota\n\tB\n)",
+		"const A, B = \"a\", \"b\"",
+		"const (\n\tA = \"a\"\n)",
+		"const (\n\tA string = \"a\"\n\tB        = A\n\tC        = \"c\" + \"d\"\n)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, decls string) {
+		src := "package p\n\n" + decls + "\n"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Skip()
+		}
+		info := &types.Info{
+			Types: make(map[ast.Expr]types.TypeAndValue),
+			Defs:  make(map[*ast.Ident]types.Object),
+			Uses:  make(map[*ast.Ident]types.Object),
+		}
+		// No importer: fuzz inputs that import anything are skipped, which
+		// keeps the target fast and hermetic.
+		conf := types.Config{Error: func(error) {}}
+		tp, err := conf.Check("srb/internal/wire", fset, []*ast.File{file}, info)
+		if err != nil {
+			t.Skip()
+		}
+		pkg := &Package{Path: "srb/internal/wire", Fset: fset, Files: []*ast.File{file}, Types: tp, Info: info}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("extractProtoSubgroups panicked: %v\ninput:\n%s", r, decls)
+			}
+		}()
+		subs := extractProtoSubgroups(pkg)
+		seen := make(map[string]bool)
+		for _, sub := range subs {
+			if len(sub.members) == 0 {
+				t.Fatalf("empty subgroup %q\ninput:\n%s", sub.label, decls)
+			}
+			if sub.label == "" {
+				t.Fatalf("subgroup with empty label\ninput:\n%s", decls)
+			}
+			for _, m := range sub.members {
+				if seen[m.key] {
+					t.Fatalf("duplicate member key %q\ninput:\n%s", m.key, decls)
+				}
+				seen[m.key] = true
+			}
+		}
+		again := extractProtoSubgroups(pkg)
+		if len(again) != len(subs) {
+			t.Fatalf("non-deterministic extraction: %d then %d subgroups\ninput:\n%s", len(subs), len(again), decls)
+		}
+		for i := range subs {
+			if subs[i].label != again[i].label || len(subs[i].members) != len(again[i].members) {
+				t.Fatalf("non-deterministic subgroup %d\ninput:\n%s", i, decls)
+			}
+		}
+	})
+}

@@ -32,6 +32,17 @@ const (
 	JournalDeregister = "dereg"  // query removal
 )
 
+// Journal query kinds: the Kind field of a JournalRegister entry. The wire
+// registration types map onto these in internal/remote's registrationEntry,
+// and applyEntry's replay switch must handle every one — protodrift checks
+// both sides, so a kind added to the writer without a replay case fails lint.
+const (
+	KindRange  = "range"  // axis-aligned range query
+	KindCount  = "count"  // count-only range query
+	KindCircle = "circle" // within-distance (circle) query
+	KindKNN    = "knn"    // k-nearest-neighbor query
+)
+
 // ProbeAnswer is one recorded server-initiated probe reply.
 type ProbeAnswer struct {
 	ID uint64  `json:"id"`
@@ -261,13 +272,13 @@ func applyEntry(m *Monitor, e *JournalEntry) error {
 		qid := query.ID(e.QID)
 		rect := geom.Rect{MinX: e.MinX, MinY: e.MinY, MaxX: e.MaxX, MaxY: e.MaxY}
 		switch e.Kind {
-		case "range":
+		case KindRange:
 			_, _, err = m.RegisterRange(qid, rect)
-		case "count":
+		case KindCount:
 			_, _, err = m.RegisterCount(qid, rect)
-		case "circle":
+		case KindCircle:
 			_, _, err = m.RegisterWithinDistance(qid, geom.Pt(e.X, e.Y), e.Radius)
-		case "knn":
+		case KindKNN:
 			_, _, err = m.RegisterKNN(qid, geom.Pt(e.X, e.Y), e.K, e.Ordered)
 		default:
 			err = fmt.Errorf("unknown query kind %q", e.Kind)

@@ -142,7 +142,9 @@ func (p *Pipeline) ApplyEach(batch []Update, emit func(i int, ups []core.SafeReg
 		var wg sync.WaitGroup
 		for w := 0; w < p.workers && w < n; w++ {
 			wg.Add(1)
-			go func() {
+			// Counter-gated exit: the loop is bounded by n (each worker claims
+			// strictly increasing indices), which goroleak cannot prove.
+			go func() { //lint:allow goroleak exit is counter-gated and bounded by n; workers cannot outlive Run
 				defer wg.Done()
 				for {
 					i := int(atomic.AddInt64(&next, 1)) - 1

@@ -488,6 +488,10 @@ func (a *AppClient) readLoop() {
 				// never invisibly: count it and warn at a throttled rate.
 				a.noteDrop(m.QID)
 			}
+		} else if m.Type == wire.TError {
+			// An error frame with no round-trip waiter (the waiter timed out,
+			// or the server pushed it) must not vanish silently.
+			a.logf("remote: unrouted server error for query %d: %s", m.QID, m.Err)
 		}
 	}
 }
@@ -640,7 +644,9 @@ func (a *AppClient) failPending() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	for qid, ch := range a.pending {
-		close(ch)
+		// The read loop — the only sender on pending channels — has already
+		// exited when this runs, so the receive-side close cannot race a send.
+		close(ch) //lint:allow chanlife sole sender (the read loop) has exited before failPending runs
 		delete(a.pending, qid)
 	}
 }

@@ -230,18 +230,18 @@ func (s *Server) jAbort() {
 // registrationEntry maps a registration frame to its journal entry.
 func registrationEntry(req wire.Message) core.JournalEntry {
 	e := core.JournalEntry{Op: core.JournalRegister, QID: req.QID}
-	switch req.Type {
+	switch req.Type { //lint:allow protodrift TDeregister is journaled directly by the deregister path, never through this helper
 	case wire.TRegisterRange:
-		e.Kind = "range"
+		e.Kind = core.KindRange
 		e.MinX, e.MinY, e.MaxX, e.MaxY = req.MinX, req.MinY, req.MaxX, req.MaxY
 	case wire.TRegisterCount:
-		e.Kind = "count"
+		e.Kind = core.KindCount
 		e.MinX, e.MinY, e.MaxX, e.MaxY = req.MinX, req.MinY, req.MaxX, req.MaxY
 	case wire.TRegisterCircle:
-		e.Kind = "circle"
+		e.Kind = core.KindCircle
 		e.X, e.Y, e.Radius = req.X, req.Y, req.Radius
-	default:
-		e.Kind = "knn"
+	case wire.TRegisterKNN:
+		e.Kind = core.KindKNN
 		e.X, e.Y, e.K, e.Ordered = req.X, req.Y, req.K, req.Ordered
 	}
 	return e
