@@ -10,6 +10,15 @@
 //
 //	go test -run '^$' -bench 'Update' -benchmem . | srb-benchjson -out BENCH.json
 //
+// With -baseline the new snapshot is additionally gated against a previous
+// one: for every op named in -gate (comma-separated; default all ops present
+// in both files), ns/op and allocs/op may regress by at most -max-regress
+// (fractional, default 0.15). A gated op missing from either side, or present
+// with zero iterations, fails the gate — silence must not pass for speed.
+//
+//	... | srb-benchjson -out BENCH_PR8.json -baseline BENCH_PR7.json \
+//	      -gate UpdateSequential,UpdateBatch -max-regress 0.15
+//
 // Lines that are not benchmark results (the goos/goarch header, PASS, ok) are
 // ignored. A run with zero parsed results is an error: it means the bench
 // pattern matched nothing and the snapshot would silently be empty.
@@ -20,7 +29,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -38,22 +49,14 @@ type result struct {
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "previous snapshot to gate against (empty: no gate)")
+	gateOps := flag.String("gate", "", "comma-separated ops the gate checks (default: all ops in both snapshots)")
+	maxRegress := flag.Float64("max-regress", 0.15, "max fractional ns/op or allocs/op regression vs the baseline")
 	flag.Parse()
 
-	var results []result
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		if r, ok := parseBenchLine(line); ok {
-			results = append(results, r)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		fatalf("read stdin: %v", err)
-	}
-	if len(results) == 0 {
-		fatalf("no benchmark result lines on stdin: check the -bench pattern")
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	buf, err := json.MarshalIndent(results, "", "  ")
@@ -63,12 +66,48 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "" {
 		os.Stdout.Write(buf)
-		return
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+		fmt.Fprintf(os.Stderr, "srb-benchjson: wrote %d result(s) to %s\n", len(results), *out)
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fatalf("write %s: %v", *out, err)
+
+	if *baseline != "" {
+		base, err := readSnapshot(*baseline)
+		if err != nil {
+			fatalf("read baseline: %v", err)
+		}
+		verdicts, err := compare(base, results, splitOps(*gateOps), *maxRegress)
+		for _, v := range verdicts {
+			fmt.Fprintf(os.Stderr, "srb-benchjson: %s\n", v)
+		}
+		if err != nil {
+			fatalf("regression gate: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "srb-benchjson: regression gate passed (max %.0f%% vs %s)\n",
+			*maxRegress*100, *baseline)
 	}
-	fmt.Fprintf(os.Stderr, "srb-benchjson: wrote %d result(s) to %s\n", len(results), *out)
+}
+
+// parseBench scans benchmark output and returns the parsed result lines.
+// Zero parsed results is an error: the bench pattern matched nothing.
+func parseBench(r io.Reader) ([]result, error) {
+	var results []result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseBenchLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read input: %w", err)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines on input: check the -bench pattern")
+	}
+	return results, nil
 }
 
 // parseBenchLine parses one `Benchmark<Name>-P  N  v1 unit1  v2 unit2 ...`
@@ -112,6 +151,115 @@ func parseBenchLine(line string) (result, bool) {
 		}
 	}
 	return r, seen
+}
+
+// readSnapshot loads a previously written snapshot file.
+func readSnapshot(path string) ([]result, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(buf, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// splitOps parses the -gate list; empty input means "gate the intersection".
+func splitOps(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var ops []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			ops = append(ops, p)
+		}
+	}
+	return ops
+}
+
+// compare gates cur against base for the named ops (or their intersection
+// when ops is nil): ns/op and allocs/op must not regress beyond maxRegress.
+// It returns one human-readable verdict line per checked metric, plus an
+// error summarizing every violation. Gated ops missing from either snapshot
+// or carrying zero iterations are violations, not skips.
+func compare(base, cur []result, ops []string, maxRegress float64) ([]string, error) {
+	baseBy := indexByOp(base)
+	curBy := indexByOp(cur)
+	if ops == nil {
+		for op := range baseBy {
+			if _, ok := curBy[op]; ok {
+				ops = append(ops, op)
+			}
+		}
+		sort.Strings(ops)
+		if len(ops) == 0 {
+			return nil, fmt.Errorf("no common ops between baseline and current snapshot")
+		}
+	}
+	var verdicts []string
+	var failures []string
+	for _, op := range ops {
+		b, okB := baseBy[op]
+		c, okC := curBy[op]
+		switch {
+		case !okB:
+			failures = append(failures, fmt.Sprintf("%s: missing from baseline", op))
+			continue
+		case !okC:
+			failures = append(failures, fmt.Sprintf("%s: missing from current run", op))
+			continue
+		case b.Iterations == 0 || c.Iterations == 0:
+			failures = append(failures, fmt.Sprintf("%s: zero iterations (baseline %d, current %d)",
+				op, b.Iterations, c.Iterations))
+			continue
+		}
+		for _, m := range []struct {
+			name       string
+			base, cur  float64
+			zeroIsFail bool
+		}{
+			{"ns/op", b.NsPerOp, c.NsPerOp, true},
+			{"allocs/op", b.AllocsPerOp, c.AllocsPerOp, false},
+		} {
+			if m.base == 0 {
+				if m.zeroIsFail {
+					failures = append(failures, fmt.Sprintf("%s: baseline %s is zero", op, m.name))
+				} else if m.cur > 0 {
+					// allocs/op going 0 → nonzero is a regression with an
+					// undefined ratio: flag it explicitly.
+					failures = append(failures, fmt.Sprintf("%s: %s regressed 0 -> %g", op, m.name, m.cur))
+				}
+				continue
+			}
+			ratio := m.cur / m.base
+			verdict := fmt.Sprintf("%s %s: %.6g -> %.6g (%+.1f%%)", op, m.name, m.base, m.cur, (ratio-1)*100)
+			if ratio > 1+maxRegress {
+				failures = append(failures, fmt.Sprintf("%s %s regressed %.1f%% (limit %.0f%%): %.6g -> %.6g",
+					op, m.name, (ratio-1)*100, maxRegress*100, m.base, m.cur))
+				verdict += " FAIL"
+			}
+			verdicts = append(verdicts, verdict)
+		}
+	}
+	if len(failures) > 0 {
+		return verdicts, fmt.Errorf("%s", strings.Join(failures, "; "))
+	}
+	return verdicts, nil
+}
+
+// indexByOp maps results by op name; a duplicated op keeps its first row,
+// matching go test output where each benchmark appears once.
+func indexByOp(rs []result) map[string]result {
+	m := make(map[string]result, len(rs))
+	for _, r := range rs {
+		if _, dup := m[r.Op]; !dup {
+			m[r.Op] = r
+		}
+	}
+	return m
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+		ok   bool
+		want result
+	}{
+		{
+			name: "full benchmem line with custom metric",
+			line: "BenchmarkUpdateSequential-8   \t  500000\t      2100 ns/op\t     128 B/op\t       3 allocs/op\t         0.850 fastpath-fraction",
+			ok:   true,
+			want: result{Op: "UpdateSequential", Iterations: 500000, NsPerOp: 2100,
+				BytesPerOp: 128, AllocsPerOp: 3,
+				Metrics: map[string]float64{"fastpath-fraction": 0.85}},
+		},
+		{
+			name: "no benchmem, no custom metrics",
+			line: "BenchmarkUpdateBatch-4 1000 1500 ns/op",
+			ok:   true,
+			want: result{Op: "UpdateBatch", Iterations: 1000, NsPerOp: 1500},
+		},
+		{
+			name: "name with internal dash keeps the dash",
+			line: "BenchmarkGrid-Probe-8 10 5 ns/op",
+			ok:   true,
+			want: result{Op: "Grid-Probe", Iterations: 10, NsPerOp: 5},
+		},
+		{name: "header line", line: "goos: linux", ok: false},
+		{name: "pass line", line: "PASS", ok: false},
+		{name: "ok line", line: "ok  \tsrb\t12.3s", ok: false},
+		{name: "empty", line: "", ok: false},
+		{name: "malformed iteration count", line: "BenchmarkX-8 abc 5 ns/op", ok: false},
+		{name: "malformed metric value", line: "BenchmarkX-8 10 xyz ns/op", ok: false},
+		{name: "result with no metrics at all", line: "BenchmarkX-8 10 only three", ok: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := parseBenchLine(tc.line)
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v (line %q)", ok, tc.ok, tc.line)
+			}
+			if !ok {
+				return
+			}
+			if got.Op != tc.want.Op || got.Iterations != tc.want.Iterations ||
+				got.NsPerOp != tc.want.NsPerOp || got.BytesPerOp != tc.want.BytesPerOp ||
+				got.AllocsPerOp != tc.want.AllocsPerOp {
+				t.Fatalf("got %+v, want %+v", got, tc.want)
+			}
+			if len(got.Metrics) != len(tc.want.Metrics) {
+				t.Fatalf("metrics %v, want %v", got.Metrics, tc.want.Metrics)
+			}
+			for k, v := range tc.want.Metrics {
+				if got.Metrics[k] != v {
+					t.Fatalf("metric %s = %g, want %g", k, got.Metrics[k], v)
+				}
+			}
+		})
+	}
+}
+
+func TestParseBenchRejectsEmptyInput(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("goos: linux\nPASS\n")); err == nil {
+		t.Fatal("input without result lines must be an error")
+	}
+	rs, err := parseBench(strings.NewReader("BenchmarkX-8 10 5 ns/op\nok srb 1s\n"))
+	if err != nil || len(rs) != 1 {
+		t.Fatalf("got %v, %v; want one result", rs, err)
+	}
+}
+
+func mkResult(op string, iters int64, ns, allocs float64) result {
+	return result{Op: op, Iterations: iters, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := []result{
+		mkResult("UpdateSequential", 1000, 2000, 3),
+		mkResult("UpdateBatch", 1000, 1000, 2),
+	}
+	gate := []string{"UpdateSequential", "UpdateBatch"}
+
+	t.Run("within budget passes", func(t *testing.T) {
+		cur := []result{
+			mkResult("UpdateSequential", 900, 2200, 3), // +10% ns/op
+			mkResult("UpdateBatch", 1000, 1000, 2),
+		}
+		if _, err := compare(base, cur, gate, 0.15); err != nil {
+			t.Fatalf("10%% regression under a 15%% budget failed: %v", err)
+		}
+	})
+	t.Run("ns/op regression fails", func(t *testing.T) {
+		cur := []result{
+			mkResult("UpdateSequential", 900, 2400, 3), // +20%
+			mkResult("UpdateBatch", 1000, 1000, 2),
+		}
+		_, err := compare(base, cur, gate, 0.15)
+		if err == nil || !strings.Contains(err.Error(), "ns/op") {
+			t.Fatalf("want ns/op failure, got %v", err)
+		}
+	})
+	t.Run("allocs regression fails", func(t *testing.T) {
+		cur := []result{
+			mkResult("UpdateSequential", 900, 2000, 4), // 3 -> 4 allocs: +33%
+			mkResult("UpdateBatch", 1000, 1000, 2),
+		}
+		_, err := compare(base, cur, gate, 0.15)
+		if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+			t.Fatalf("want allocs/op failure, got %v", err)
+		}
+	})
+	t.Run("missing gated op fails", func(t *testing.T) {
+		cur := []result{mkResult("UpdateSequential", 900, 2000, 3)}
+		_, err := compare(base, cur, gate, 0.15)
+		if err == nil || !strings.Contains(err.Error(), "missing from current run") {
+			t.Fatalf("want missing-op failure, got %v", err)
+		}
+	})
+	t.Run("zero-iteration row fails", func(t *testing.T) {
+		cur := []result{
+			mkResult("UpdateSequential", 0, 2000, 3),
+			mkResult("UpdateBatch", 1000, 1000, 2),
+		}
+		_, err := compare(base, cur, gate, 0.15)
+		if err == nil || !strings.Contains(err.Error(), "zero iterations") {
+			t.Fatalf("want zero-iteration failure, got %v", err)
+		}
+	})
+	t.Run("allocs going zero to nonzero fails", func(t *testing.T) {
+		b := []result{mkResult("X", 10, 100, 0)}
+		c := []result{mkResult("X", 10, 100, 1)}
+		_, err := compare(b, c, []string{"X"}, 0.15)
+		if err == nil || !strings.Contains(err.Error(), "0 -> 1") {
+			t.Fatalf("want 0->nonzero allocs failure, got %v", err)
+		}
+	})
+	t.Run("improvement passes and default ops are the intersection", func(t *testing.T) {
+		cur := []result{
+			mkResult("UpdateSequential", 1100, 1500, 2),
+			mkResult("UpdateBatch", 1100, 900, 2),
+			mkResult("NewOnlyHere", 10, 1, 1),
+		}
+		verdicts, err := compare(base, cur, nil, 0.15)
+		if err != nil {
+			t.Fatalf("improvement failed the gate: %v", err)
+		}
+		joined := strings.Join(verdicts, "\n")
+		if strings.Contains(joined, "NewOnlyHere") {
+			t.Fatalf("op absent from baseline judged by the default gate: %s", joined)
+		}
+	})
+	t.Run("zero baseline ns/op fails", func(t *testing.T) {
+		b := []result{mkResult("X", 10, 0, 1)}
+		c := []result{mkResult("X", 10, 100, 1)}
+		_, err := compare(b, c, []string{"X"}, 0.15)
+		if err == nil || !strings.Contains(err.Error(), "baseline ns/op is zero") {
+			t.Fatalf("want zero-baseline failure, got %v", err)
+		}
+	})
+}
+
+func TestSplitOps(t *testing.T) {
+	if got := splitOps(""); got != nil {
+		t.Fatalf("splitOps(\"\") = %v, want nil", got)
+	}
+	got := splitOps(" a, b ,,c ")
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("splitOps = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitOps = %v, want %v", got, want)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"srb/internal/chaos"
 	"srb/internal/core"
 	"srb/internal/geom"
+	"srb/internal/load"
 	"srb/internal/obs"
 	"srb/internal/remote"
 )
@@ -56,6 +57,9 @@ func wireEverything(t *testing.T, reg *obs.Registry) {
 		t.Fatalf("client: %v", err)
 	}
 	t.Cleanup(func() { _ = c.Close() })
+
+	// The load harness's client-side families (srb_load_*).
+	load.NewMetrics(reg)
 }
 
 // docFamilies extracts the `srb_*` family names from METRICS.md table rows.

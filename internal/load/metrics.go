@@ -1,0 +1,46 @@
+package load
+
+import "srb/internal/obs"
+
+// Metrics is the harness's client-side view in an observability registry: the
+// latency families the server cannot see (they include the wire and the
+// client runtime) plus generator health counters. All instruments are
+// nil-safe, so a harness without a registry pays one branch per event.
+type Metrics struct {
+	// UpdateAck observes the update→region-grant round trip per acked update.
+	UpdateAck *obs.Histogram
+	// ProbeRTT observes the synchronous registration probe round trip.
+	ProbeRTT *obs.Histogram
+	// UpdatesSent counts location-update frames handed to the transport.
+	UpdatesSent *obs.Counter
+	// Acks counts region grants matched to a pending update.
+	Acks *obs.Counter
+	// Errors counts frame-write and probe round-trip failures.
+	Errors *obs.Counter
+	// Reconnects counts completed session resumes across all sessions.
+	Reconnects *obs.Counter
+	// Sessions gauges the currently dialed mobile sessions.
+	Sessions *obs.Gauge
+}
+
+// NewMetrics registers the load-generator families in reg (nil reg yields
+// all-nil, no-op instruments). The family set is pinned by METRICS.md via
+// TestMetricsDocMatchesRegistry.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		UpdateAck: reg.Histogram("srb_load_update_ack_seconds",
+			"Client-side update to safe-region-grant round-trip latency.", obs.LatencyBuckets()),
+		ProbeRTT: reg.Histogram("srb_load_probe_rtt_seconds",
+			"Client-side synchronous query-registration probe round-trip latency.", obs.LatencyBuckets()),
+		UpdatesSent: reg.Counter("srb_load_updates_sent_total",
+			"Location-update frames the load generator handed to the transport."),
+		Acks: reg.Counter("srb_load_acks_total",
+			"Safe-region grants the load generator matched to a pending update."),
+		Errors: reg.Counter("srb_load_errors_total",
+			"Load-generator frame-write and probe round-trip failures."),
+		Reconnects: reg.Counter("srb_load_reconnects_total",
+			"Completed session resumes across all load-generator sessions."),
+		Sessions: reg.Gauge("srb_load_sessions",
+			"Mobile sessions the load generator currently holds open."),
+	}
+}

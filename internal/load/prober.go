@@ -1,0 +1,98 @@
+package load
+
+import (
+	"time"
+
+	"srb/internal/geom"
+	"srb/internal/query"
+	"srb/internal/remote"
+)
+
+// probeIDBase keeps the prober's transient query IDs clear of the workload
+// mix registered at queryIDBase.
+const probeIDBase = 2_000_000
+
+// prober samples server responsiveness at a fixed rate with a synchronous
+// COUNT-query register/deregister round trip: unlike update acks, which only
+// flow when objects leave their safe regions, the probe exercises the full
+// event loop on schedule and its RTT is measurable even on an idle fleet.
+type prober struct {
+	h    *harness
+	addr string
+	app  *remote.AppClient
+	rect geom.Rect
+	next uint64
+}
+
+// newProber builds the prober; its connection dials lazily on first use so a
+// server that is briefly down only costs that probe.
+func newProber(h *harness, addr string) *prober {
+	// A tiny rect in a deterministic corner of the space: cheap to evaluate,
+	// and identical across runs with the same seed.
+	sp := h.cfg.Space
+	return &prober{
+		h:    h,
+		addr: addr,
+		rect: geom.R(sp.MinX, sp.MinY, sp.MinX+0.01*sp.Width(), sp.MinY+0.01*sp.Height()),
+	}
+}
+
+// loop runs until the harness shuts down, issuing one probe per interval.
+func (p *prober) loop() {
+	defer p.h.wg.Done()
+	defer func() {
+		if p.app != nil {
+			_ = p.app.Close()
+		}
+	}()
+	ticker := time.NewTicker(p.h.cfg.ProbeEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.h.done:
+			return
+		case <-ticker.C:
+			lat, err := p.once()
+			p.h.noteProbe(lat, err)
+		}
+	}
+}
+
+// once performs one probe round trip and returns its latency.
+func (p *prober) once() (float64, error) {
+	if p.app == nil {
+		app, err := remote.DialAppOpts(p.addr, remote.AppOptions{
+			RPCTimeout:  2 * time.Second,
+			RPCAttempts: 1,
+			Seed:        sessionSeed(p.h.cfg.Seed, 1<<44),
+		})
+		if err != nil {
+			return 0, err
+		}
+		app.SetLogf(nil)
+		p.app = app
+		p.h.wg.Add(1)
+		go func() {
+			defer p.h.wg.Done()
+			for range app.Updates() {
+			}
+		}()
+	}
+	p.next++
+	qid := query.ID(probeIDBase + p.next)
+	t0 := time.Now()
+	_, err := p.app.RegisterCount(qid, p.rect)
+	lat := time.Since(t0).Seconds()
+	if err != nil {
+		// The conn may be dead (server crash): drop it so the next probe
+		// re-dials instead of failing forever.
+		_ = p.app.Close()
+		p.app = nil
+		return 0, err
+	}
+	if err := p.app.Deregister(qid); err != nil {
+		_ = p.app.Close()
+		p.app = nil
+	}
+	return lat, nil
+}

@@ -1,0 +1,102 @@
+package load
+
+import (
+	"fmt"
+	"time"
+
+	"srb/internal/geom"
+	"srb/internal/query"
+	"srb/internal/remote"
+)
+
+// recoveryDrill measures the recovery-time objective: kill the server with
+// sessions live, restart it into journal recovery, and time (a) how long
+// until a probe round trip first succeeds against the restarted event loop
+// and (b) how long until the update path is back within the SLO. The fleet's
+// auto-reconnecting sessions resume their leases throughout, so the drill
+// exercises journal replay, lease resume, and region re-push together.
+func (h *harness) recoveryDrill(rc *RecoveryConfig) (RecoveryReport, error) {
+	cfg := h.cfg
+	deadline := time.Now().Add(rc.Timeout)
+	killAt := time.Now()
+	cfg.Logf("load: recovery drill: killing server at t=%.2fs", killAt.Sub(h.epoch).Seconds())
+	if err := rc.Control.Kill(); err != nil {
+		return RecoveryReport{}, fmt.Errorf("load: kill server: %w", err)
+	}
+	if err := rc.Control.Restart(); err != nil {
+		return RecoveryReport{}, fmt.Errorf("load: restart server: %w", err)
+	}
+	// Arm the SLO-restore watch only now: acks measured from here on are
+	// against the recovered server, not frames in flight before the kill.
+	h.watch.arm(cfg.SLOP99.Seconds())
+
+	recoveredAt, err := h.waitServerReady(deadline)
+	if err != nil {
+		return RecoveryReport{}, err
+	}
+	cfg.Logf("load: recovery drill: probe succeeded %.3fs after kill", recoveredAt.Sub(killAt).Seconds())
+
+	var restoredAt time.Time
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case restoredAt = <-h.watch.ch:
+	case <-timer.C:
+		return RecoveryReport{}, fmt.Errorf("load: no update ack within the %s SLO observed %s after the kill",
+			cfg.SLOP99, rc.Timeout)
+	case <-h.done:
+		return RecoveryReport{}, fmt.Errorf("load: harness shut down during the recovery drill")
+	}
+	cfg.Logf("load: recovery drill: SLO restored %.3fs after kill", restoredAt.Sub(killAt).Seconds())
+
+	return RecoveryReport{
+		Performed:            true,
+		KillAtSeconds:        killAt.Sub(h.epoch).Seconds(),
+		RecoveredAtSeconds:   recoveredAt.Sub(h.epoch).Seconds(),
+		SLORestoredAtSeconds: restoredAt.Sub(h.epoch).Seconds(),
+		RTOSeconds:           recoveredAt.Sub(killAt).Seconds(),
+		SLORestoreSeconds:    restoredAt.Sub(killAt).Seconds(),
+	}, nil
+}
+
+// waitServerReady polls the restarted server with short probe round trips —
+// a fresh dial plus a COUNT registration — until one completes, proving the
+// listener is up AND the event loop is processing (journal replay done).
+func (h *harness) waitServerReady(deadline time.Time) (time.Time, error) {
+	sp := h.cfg.Space
+	rect := geom.R(sp.MinX, sp.MinY, sp.MinX+0.01*sp.Width(), sp.MinY+0.01*sp.Height())
+	n := uint64(0)
+	for time.Now().Before(deadline) {
+		select {
+		case <-h.done:
+			return time.Time{}, fmt.Errorf("load: harness shut down during the recovery drill")
+		default:
+		}
+		n++
+		if t, ok := h.tryProbe(rect, n); ok {
+			return t, nil
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return time.Time{}, fmt.Errorf("load: server did not answer a probe round trip within the drill timeout")
+}
+
+// tryProbe runs one throwaway probe round trip against the server.
+func (h *harness) tryProbe(rect geom.Rect, n uint64) (time.Time, bool) {
+	app, err := remote.DialAppOpts(h.cfg.Addr, remote.AppOptions{
+		RPCTimeout:  500 * time.Millisecond,
+		RPCAttempts: 1,
+		Seed:        sessionSeed(h.cfg.Seed, 1<<45+n),
+	})
+	if err != nil {
+		return time.Time{}, false
+	}
+	app.SetLogf(nil)
+	defer app.Close()
+	qid := query.ID(probeIDBase + 500_000 + n)
+	if _, err := app.RegisterCount(qid, rect); err != nil {
+		return time.Time{}, false
+	}
+	_ = app.Deregister(qid)
+	return time.Now(), true
+}

@@ -1,0 +1,231 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"srb/internal/obs"
+)
+
+// ReportSchema identifies the capacity-report JSON layout; bump it when a
+// field changes meaning so downstream diffing tools can refuse mixed files.
+const ReportSchema = "srb-load/v1"
+
+// LatencySummary is the quantile digest of one latency histogram, in seconds.
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Mean  float64 `json:"mean"`
+}
+
+// summarize digests a histogram into its quantile summary.
+func summarize(h *obs.Histogram) LatencySummary {
+	s := LatencySummary{
+		Count: h.Count(),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
+	if s.Count > 0 {
+		s.Mean = h.Sum() / float64(s.Count)
+	}
+	return s
+}
+
+// StageReport is the outcome of one ramp stage.
+type StageReport struct {
+	// Sessions is the concurrent mobile-session count held through the stage.
+	Sessions int `json:"sessions"`
+	// DurationSeconds is the measured stage length.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// OfferedUpdates counts location-update frames handed to the transport.
+	OfferedUpdates int64 `json:"offered_updates"`
+	// OfferedRate is OfferedUpdates per second of stage time.
+	OfferedRate float64 `json:"offered_rate"`
+	// AckedUpdates counts safe-region grants matched to a pending update.
+	AckedUpdates int64 `json:"acked_updates"`
+	// UpdateAck digests the update→region-grant round-trip latency.
+	UpdateAck LatencySummary `json:"update_ack_seconds"`
+	// ProbeRTT digests the synchronous query-registration probe round trips.
+	ProbeRTT LatencySummary `json:"probe_rtt_seconds"`
+	// Errors counts frame-write and probe round-trip failures in the stage.
+	Errors int64 `json:"errors"`
+	// Reconnects counts session resumes that completed during the stage.
+	Reconnects int64 `json:"reconnects"`
+	// MetSLO reports whether the stage held the declared latency objective:
+	// non-empty ack sample with p99 update-ack and p99 probe RTT ≤ the SLO.
+	MetSLO bool `json:"met_slo"`
+}
+
+// CapacityReport is the headline number: what the server sustained at the SLO.
+type CapacityReport struct {
+	// SLOP99Seconds is the declared objective both latency families' p99 must
+	// stay under for a stage to count as sustained.
+	SLOP99Seconds float64 `json:"slo_p99_seconds"`
+	// MaxSessionsAtSLO is the largest stage session count that met the SLO.
+	MaxSessionsAtSLO int `json:"max_sessions_at_slo"`
+	// SessionsPerCore normalizes MaxSessionsAtSLO by the machine's CPU count
+	// (generator and server share the box in the default single-node drill).
+	SessionsPerCore float64 `json:"sessions_per_core"`
+	// Saturated reports whether the ramp actually found the limit: a later
+	// stage missed the SLO. False means every stage passed and true capacity
+	// is at or above MaxSessionsAtSLO.
+	Saturated bool `json:"saturated"`
+}
+
+// RecoveryReport is the outcome of the mid-run SIGKILL drill.
+type RecoveryReport struct {
+	// Performed distinguishes a measured drill from a run without one.
+	Performed bool `json:"performed"`
+	// KillAtSeconds, RecoveredAtSeconds and SLORestoredAtSeconds are offsets
+	// from the run start: when the server was killed, when a probe round trip
+	// first succeeded against the restarted server, and when the first
+	// post-restart update ack within the SLO was observed.
+	KillAtSeconds        float64 `json:"kill_at_seconds"`
+	RecoveredAtSeconds   float64 `json:"recovered_at_seconds"`
+	SLORestoredAtSeconds float64 `json:"slo_restored_at_seconds"`
+	// RTOSeconds is RecoveredAtSeconds - KillAtSeconds: the recovery-time
+	// objective actually measured (restart + journal replay + event loop up).
+	RTOSeconds float64 `json:"rto_seconds"`
+	// SLORestoreSeconds is SLORestoredAtSeconds - KillAtSeconds: kill until
+	// the update path was back within the latency objective.
+	SLORestoreSeconds float64 `json:"slo_restore_seconds"`
+	// Reconnects counts session resumes observed during the drill.
+	Reconnects int64 `json:"reconnects"`
+}
+
+// ConfigEcho pins the inputs that shaped the run into the report, so two
+// LOAD_*.json files are only compared when they measured the same workload.
+type ConfigEcho struct {
+	Seed             int64   `json:"seed"`
+	BaseSessions     int     `json:"base_sessions"`
+	StageMultipliers []int   `json:"stage_multipliers"`
+	StageSeconds     float64 `json:"stage_seconds"`
+	TickSeconds      float64 `json:"tick_seconds"`
+	ReportSeconds    float64 `json:"report_seconds,omitempty"`
+	ProbeSeconds     float64 `json:"probe_seconds"`
+	MeanSpeed        float64 `json:"mean_speed"`
+	Timescale        float64 `json:"timescale"`
+	RangeQueries     int     `json:"range_queries"`
+	CircleQueries    int     `json:"circle_queries"`
+	KNNQueries       int     `json:"knn_queries"`
+	CountQueries     int     `json:"count_queries"`
+}
+
+// Report is the machine-readable capacity report the harness emits
+// (LOAD_*.json). Every latency is in seconds.
+type Report struct {
+	Schema   string         `json:"schema"`
+	Cores    int            `json:"cores"`
+	Config   ConfigEcho     `json:"config"`
+	Stages   []StageReport  `json:"stages"`
+	Capacity CapacityReport `json:"capacity"`
+	Recovery RecoveryReport `json:"recovery"`
+	// Server holds selected family sums scraped from the server's /metrics at
+	// the end of the run (empty when no metrics URL was configured) — the
+	// server-side view to hold against the client-side latencies above.
+	Server map[string]float64 `json:"server,omitempty"`
+}
+
+// Validate checks the report is well-formed and the run measured something: a
+// recognized schema, a monotone session ramp, non-zero latency quantiles, a
+// capacity figure at the SLO, and — when a drill ran — a finite, correctly
+// sequenced recovery timeline. The CI smoke gate and the tier-1 integration
+// test both fail on the first violated property.
+func (r *Report) Validate() error {
+	if r.Schema != ReportSchema {
+		return fmt.Errorf("load: schema %q, want %q", r.Schema, ReportSchema)
+	}
+	if r.Cores < 1 {
+		return fmt.Errorf("load: cores = %d", r.Cores)
+	}
+	if len(r.Stages) == 0 {
+		return fmt.Errorf("load: no ramp stages")
+	}
+	for i, st := range r.Stages {
+		if st.Sessions <= 0 {
+			return fmt.Errorf("load: stage %d has %d sessions", i, st.Sessions)
+		}
+		if i > 0 && st.Sessions <= r.Stages[i-1].Sessions {
+			return fmt.Errorf("load: ramp not monotone: stage %d has %d sessions after %d",
+				i, st.Sessions, r.Stages[i-1].Sessions)
+		}
+		if st.DurationSeconds <= 0 {
+			return fmt.Errorf("load: stage %d has non-positive duration", i)
+		}
+		if err := st.UpdateAck.validate(fmt.Sprintf("stage %d update_ack", i)); err != nil {
+			return err
+		}
+		if err := st.ProbeRTT.validate(fmt.Sprintf("stage %d probe_rtt", i)); err != nil {
+			return err
+		}
+	}
+	// The first stage must actually have exercised both latency families —
+	// a report with empty histograms means the workload never ran.
+	if r.Stages[0].UpdateAck.Count == 0 {
+		return fmt.Errorf("load: first stage observed no update acks")
+	}
+	if r.Stages[0].ProbeRTT.Count == 0 {
+		return fmt.Errorf("load: first stage observed no probe round trips")
+	}
+	if r.Capacity.SLOP99Seconds <= 0 {
+		return fmt.Errorf("load: no declared SLO")
+	}
+	if r.Capacity.MaxSessionsAtSLO <= 0 {
+		return fmt.Errorf("load: no stage met the SLO (p99 objective %gs)", r.Capacity.SLOP99Seconds)
+	}
+	if r.Capacity.SessionsPerCore <= 0 {
+		return fmt.Errorf("load: sessions-per-core capacity not measured")
+	}
+	if r.Recovery.Performed {
+		rec := r.Recovery
+		for name, v := range map[string]float64{
+			"rto_seconds":          rec.RTOSeconds,
+			"slo_restore_seconds":  rec.SLORestoreSeconds,
+			"kill_at_seconds":      rec.KillAtSeconds,
+			"recovered_at_seconds": rec.RecoveredAtSeconds,
+		} {
+			if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+				return fmt.Errorf("load: recovery %s = %g, want finite > 0", name, v)
+			}
+		}
+		if rec.RecoveredAtSeconds <= rec.KillAtSeconds {
+			return fmt.Errorf("load: recovery sequencing: recovered at %gs not after kill at %gs",
+				rec.RecoveredAtSeconds, rec.KillAtSeconds)
+		}
+		if rec.SLORestoredAtSeconds <= rec.KillAtSeconds {
+			return fmt.Errorf("load: recovery sequencing: SLO restored at %gs not after kill at %gs",
+				rec.SLORestoredAtSeconds, rec.KillAtSeconds)
+		}
+	}
+	return nil
+}
+
+// validate checks a non-empty summary has sane, ordered quantiles.
+func (s LatencySummary) validate(what string) error {
+	if s.Count == 0 {
+		return nil // an idle later stage is legal; emptiness of stage 1 is checked above
+	}
+	if s.P50 <= 0 || s.P99 <= 0 || s.P999 <= 0 {
+		return fmt.Errorf("load: %s has zero quantiles with %d observations", what, s.Count)
+	}
+	if s.P50 > s.P99 || s.P99 > s.P999 {
+		return fmt.Errorf("load: %s quantiles not monotone: p50=%g p99=%g p999=%g",
+			what, s.P50, s.P99, s.P999)
+	}
+	return nil
+}
+
+// WriteFile marshals the report as indented JSON to path.
+func (r *Report) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	return os.WriteFile(path, buf, 0o644)
+}

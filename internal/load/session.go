@@ -1,0 +1,139 @@
+package load
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"srb/internal/geom"
+	"srb/internal/mobility"
+	"srb/internal/remote"
+)
+
+// maxPending caps the per-session queue of unacknowledged update send times.
+// Under saturation the server coalesces a burst into one grant, so older
+// pending entries are superseded rather than individually acked; the cap
+// bounds memory while the newest-pending matching rule keeps the latency
+// measurement honest (see the package comment).
+const maxPending = 32
+
+// session is one simulated mobile user: a deterministic waypoint walker, an
+// auto-reconnecting wire client, and the pending-ack bookkeeping that turns
+// region grants into latency observations.
+type session struct {
+	h      *harness
+	id     uint64
+	walker *mobility.Waypoint
+	client *remote.MobileClient
+
+	mu       sync.Mutex
+	pending  []time.Time // send times of unacked updates, oldest first
+	lastSend time.Time   // last update frame of any kind, for ReportEvery
+}
+
+// newSession dials one mobile session and starts its tick loop. Each session
+// derives every random stream from (cfg.Seed, id), so the fleet's offered
+// workload is reproducible run to run.
+func newSession(h *harness, id uint64) (*session, error) {
+	cfg := h.cfg
+	start := startPosition(cfg, id)
+	s := &session{
+		h:      h,
+		id:     id,
+		walker: mobility.NewWaypoint(cfg.Seed, id, cfg.Space, cfg.MeanSpeed, cfg.MeanPeriod, start),
+	}
+	client, err := remote.DialClientOpts(cfg.Addr, id, start, remote.ClientOptions{
+		Reconnect:  true,
+		BackoffMin: 20 * time.Millisecond,
+		Seed:       sessionSeed(cfg.Seed, 1<<42+id),
+		Hooks: remote.ClientHooks{
+			UpdateSent:    s.onUpdateSent,
+			RegionGranted: s.onRegionGranted,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.client = client
+	h.wg.Add(1)
+	go s.run()
+	return s, nil
+}
+
+// startPosition derives the session's deterministic starting point.
+// mobility.StartPositions draws all n positions from one stream; sessions
+// here join incrementally across stages, so derive per-ID instead.
+func startPosition(cfg Config, id uint64) geom.Point {
+	rng := rand.New(rand.NewSource(sessionSeed(cfg.Seed, 1<<43+id)))
+	return geom.Pt(
+		cfg.Space.MinX+rng.Float64()*cfg.Space.Width(),
+		cfg.Space.MinY+rng.Float64()*cfg.Space.Height(),
+	)
+}
+
+// onUpdateSent is the client hook for every update frame handed to the
+// transport; it timestamps the pending ack and feeds the offered-rate
+// counters.
+func (s *session) onUpdateSent(err error) {
+	now := time.Now()
+	s.h.noteUpdate(err)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.lastSend = now
+	if len(s.pending) == maxPending {
+		copy(s.pending, s.pending[1:])
+		s.pending = s.pending[:maxPending-1]
+	}
+	s.pending = append(s.pending, now)
+	s.mu.Unlock()
+}
+
+// onRegionGranted is the client hook for safe-region grants: the grant acks
+// the newest pending update (older in-flight updates were coalesced under
+// it), and grants with nothing pending — pushes caused by other objects'
+// movement or query churn — are not acks and are ignored.
+func (s *session) onRegionGranted() {
+	now := time.Now()
+	s.mu.Lock()
+	var lat float64
+	acked := len(s.pending) > 0
+	if acked {
+		lat = now.Sub(s.pending[len(s.pending)-1]).Seconds()
+		s.pending = s.pending[:0]
+	}
+	s.mu.Unlock()
+	if acked {
+		s.h.noteAck(lat, now)
+	}
+}
+
+// run is the session's open-loop tick goroutine: advance the walker on the
+// wall-clock schedule, let the safe-region protocol decide whether to report,
+// and floor the offered rate with forced reports when configured. It never
+// waits on acknowledgements.
+func (s *session) run() {
+	defer s.h.wg.Done()
+	cfg := s.h.cfg
+	ticker := time.NewTicker(cfg.TickEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.h.done:
+			return
+		case now := <-ticker.C:
+			t := now.Sub(s.h.epoch).Seconds() * cfg.Timescale
+			p := s.walker.At(t)
+			s.client.Tick(p)
+			if cfg.ReportEvery > 0 {
+				s.mu.Lock()
+				stale := time.Since(s.lastSend) >= cfg.ReportEvery
+				s.mu.Unlock()
+				if stale {
+					s.client.Report(p)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package obs
+
+// Quantile estimation over the fixed-bucket histograms. The load harness
+// (internal/load) derives p50/p99/p999 latencies from client-side histograms
+// with the same estimator Prometheus applies to the exposition: rank the
+// target observation within the cumulative bucket counts, then interpolate
+// linearly inside the bucket that holds it.
+
+// NewHistogram creates a standalone histogram with the given ascending bucket
+// upper bounds (the +Inf bucket is implicit). Unlike Registry.Histogram it is
+// not registered anywhere: the load harness uses free-standing histograms for
+// per-stage latency accounting that must reset between ramp stages.
+func NewHistogram(bounds []float64) *Histogram {
+	return newHistogram(bounds)
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) of the observed distribution
+// by linear interpolation within the bucket holding the target rank. The
+// first bucket interpolates from zero (all observations here are non-negative
+// latencies and sizes); ranks landing in the +Inf overflow bucket clamp to
+// the largest finite bound, which is the most that can honestly be said from
+// bucketed data. An empty (or nil) histogram reports 0, as does q ≤ 0; q > 1
+// is treated as 1.
+//
+// The estimate is exact when observations sit on bucket bounds, and is
+// monotone in q by construction: the cumulative rank walk never moves
+// backward. Concurrent Observe calls may be partially visible — each bucket
+// load is atomic, the walk as a whole is not — which for a monotone stream of
+// latency samples only blurs the estimate by the in-flight observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.Count()
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	var cum float64
+	for i, bound := range h.bounds {
+		n := float64(h.counts[i].Load())
+		if n > 0 && cum+n >= target {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (bound-lo)*((target-cum)/n)
+		}
+		cum += n
+	}
+	// Rank lives in the +Inf bucket: clamp to the largest finite bound.
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}

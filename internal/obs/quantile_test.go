@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileExactSyntheticFill checks exact interpolated values on a
+// hand-computed bucket fill. Bounds {1, 2, 4}; ten observations land one per
+// 0.1 step in [0.05, 0.95] → all in the first bucket, uniformly assumed.
+func TestQuantileExactSyntheticFill(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5) // exact sample values are irrelevant; only the bucket counts matter
+	}
+	// All 10 in (0,1]: rank q*10 interpolates linearly across [0,1].
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 0.5},
+		{0.1, 0.1},
+		{1.0, 1.0},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("uniform fill: Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+
+	// Two-bucket fill: 5 in (0,1], 5 in (1,2]. Median sits exactly at the
+	// first bucket's upper bound; p75 halfway into the second bucket.
+	h2 := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 5; i++ {
+		h2.Observe(0.5)
+		h2.Observe(1.5)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 1.0},
+		{0.75, 1.5},
+		{0.25, 0.5},
+	} {
+		if got := h2.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("two-bucket fill: Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileOverflowClampsToLargestBound pins the +Inf bucket behavior:
+// ranks landing in the overflow bucket report the largest finite bound
+// rather than infinity, so SLO comparisons stay finite.
+func TestQuantileOverflowClampsToLargestBound(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(100) // overflow bucket
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("overflow rank: Quantile(0.99) = %g, want clamp to 2", got)
+	}
+	if math.IsInf(h.Quantile(1), 0) || math.IsNaN(h.Quantile(1)) {
+		t.Errorf("Quantile(1) not finite: %g", h.Quantile(1))
+	}
+}
+
+// TestQuantileMonotone sweeps q and requires the estimate never decreases,
+// on an uneven multi-bucket fill.
+func TestQuantileMonotone(t *testing.T) {
+	h := NewHistogram(LatencyBuckets())
+	for _, v := range []float64{0.0001, 0.0004, 0.0004, 0.002, 0.002, 0.002, 0.015, 0.2, 0.2, 3, 50} {
+		h.Observe(v)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile not monotone: Quantile(%g) = %g < previous %g", q, got, prev)
+		}
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("Quantile(%g) not finite: %g", q, got)
+		}
+		prev = got
+	}
+}
+
+// TestQuantileEmptyAndEdgeCases pins the degenerate inputs: empty and nil
+// histograms report zero, q outside (0,1] clamps sanely.
+func TestQuantileEmptyAndEdgeCases(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram: Quantile(0.5) = %g, want 0", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram: Quantile(0.5) = %g, want 0", got)
+	}
+	h.Observe(0.5)
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %g, want 0", got)
+	}
+	if got := h.Quantile(-1); got != 0 {
+		t.Errorf("Quantile(-1) = %g, want 0", got)
+	}
+	if got, want := h.Quantile(2), h.Quantile(1); got != want {
+		t.Errorf("Quantile(2) = %g, want clamp to Quantile(1) = %g", got, want)
+	}
+}
+
+// TestQuantileSingleObservation: one sample in bucket (1,2] — every quantile
+// interpolates within that bucket and stays inside its bounds.
+func TestQuantileSingleObservation(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.Observe(1.5)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got <= 1 || got > 2 {
+			t.Errorf("Quantile(%g) = %g, want within (1, 2]", q, got)
+		}
+	}
+}

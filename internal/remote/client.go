@@ -38,6 +38,26 @@ type ClientOptions struct {
 	// MaxAttempts caps consecutive failed dials before giving up; 0 retries
 	// forever (until Close).
 	MaxAttempts int
+	// Hooks receives wire-visible session events for external latency
+	// measurement (the load harness). Zero value disables all callbacks.
+	Hooks ClientHooks
+}
+
+// ClientHooks carries optional callbacks the mobile-client runtime invokes at
+// wire-visible moments, so an external harness (internal/load) can timestamp
+// per-operation latency without the runtime itself touching the wall clock.
+// Callbacks run on the goroutine that triggered the event — UpdateSent on the
+// Tick/Report caller, RegionGranted and Probed on the session read goroutine —
+// and must be fast and non-blocking; they are invoked outside the client's
+// lock. Nil members are skipped.
+type ClientHooks struct {
+	// UpdateSent fires after a location-update frame was handed to the
+	// transport; err is the frame write error (nil on success).
+	UpdateSent func(err error)
+	// RegionGranted fires when a safe-region grant arrives from the server.
+	RegionGranted func()
+	// Probed fires after the session answered a server-initiated probe.
+	Probed func()
 }
 
 func (o ClientOptions) withDefaults(id uint64) ClientOptions {
@@ -151,6 +171,9 @@ func (c *MobileClient) readLoop() {
 			pos := c.pos
 			outside := !c.region.Contains(pos)
 			c.mu.Unlock()
+			if f := c.opts.Hooks.RegionGranted; f != nil {
+				f()
+			}
 			if outside {
 				// Already escaped the granted region (delays): report now.
 				c.report(pos)
@@ -162,6 +185,9 @@ func (c *MobileClient) readLoop() {
 			c.mu.Unlock()
 			reply := wire.Message{Type: wire.TProbeReply, Obj: c.id, Seq: m.Seq}
 			reply.SetPoint(pos)
+			if f := c.opts.Hooks.Probed; f != nil {
+				f()
+			}
 			if err := c.send(reply); err != nil {
 				// A failed write means the connection is gone just like a
 				// failed read does; going silent here would leave a zombie
@@ -243,7 +269,24 @@ func (c *MobileClient) report(p geom.Point) {
 	c.mu.Lock()
 	c.updates++
 	c.mu.Unlock()
+	if f := c.opts.Hooks.UpdateSent; f != nil {
+		f(c.send(m))
+		return
+	}
 	_ = c.send(m)
+}
+
+// Report sends a location update unconditionally, whether or not p is inside
+// the granted safe region. The protocol never requires this — Tick reports
+// exactly on region exit — but the load harness uses it to hold a constant
+// offered update rate (open loop) independent of safe-region geometry. The
+// granted region stays valid: an in-region update does not change what the
+// client must monitor.
+func (c *MobileClient) Report(p geom.Point) {
+	c.mu.Lock()
+	c.pos = p
+	c.mu.Unlock()
+	c.report(p)
 }
 
 // Tick advances the client to position p, sending a location update exactly
