@@ -125,6 +125,7 @@ func run(a loadArgs) error {
 		defer ctl.stop()
 		cfg.Addr = ctl.addr
 		cfg.MetricsURL = ctl.adminURL + "/metrics"
+		cfg.FlightURL = ctl.adminURL + "/debug/flightrec"
 		if a.rto {
 			cfg.Recovery = &load.RecoveryConfig{Control: ctl, Timeout: a.rtoTimeout}
 		}
@@ -147,6 +148,11 @@ func run(a loadArgs) error {
 	if report.Recovery.Performed {
 		fmt.Printf("srb-load: recovery: RTO %.3fs, SLO restored %.3fs after SIGKILL\n",
 			report.Recovery.RTOSeconds, report.Recovery.SLORestoreSeconds)
+	}
+	if report.Flight.Checked {
+		fmt.Printf("srb-load: worst-tail trace %#x (stage %d) resolved to %d flight events %v, complete=%v\n",
+			report.Flight.Trace, report.Flight.Stage+1, report.Flight.Events,
+			report.Flight.Kinds, report.Flight.Complete)
 	}
 	return nil
 }

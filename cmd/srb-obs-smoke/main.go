@@ -6,8 +6,10 @@
 // present, the workload counters move, and the fault-tolerance families
 // (journal, replay, reconnect, region re-push) prove the crash-recovery
 // cycle actually happened. It also pulls /trace and /stats to check the rest
-// of the admin surface. CI runs it via `make obs-smoke`; it needs no tools
-// beyond the two freshly built binaries.
+// of the admin surface, /queries to assert the per-query cost ledger
+// attributed the workload, and /debug/flightrec to assert the flight
+// recorder holds traced post-drill evidence. CI runs it via
+// `make obs-smoke`; it needs no tools beyond the two freshly built binaries.
 package main
 
 import (
@@ -27,6 +29,11 @@ import (
 var requiredFamilies = []string{
 	// core monitor
 	"srb_updates_total",
+	// per-query cost ledger
+	"srb_query_tracked",
+	"srb_query_retired_total",
+	"srb_query_wire_bytes_total",
+	"srb_query_slow_ops_total",
 	"srb_probes_total",
 	"srb_probes_avoided_total",
 	"srb_reevaluations_total",
@@ -189,6 +196,22 @@ func run(serverBin, clientBin string, runFor time.Duration) error {
 		return fmt.Errorf("journal recorded no entries under workload (-persist broken?)")
 	}
 
+	// /queries must attribute the live workload's cost: the client's
+	// continuous queries are registered right now, so the ledger's top-K view
+	// cannot be empty and its hottest entry must have booked real work. (After
+	// the client exits its app connection closes and the server deregisters
+	// the queries, folding them into the retired bucket — checked post-run.)
+	hot, _, err := queryLedger(adminURL)
+	if err != nil {
+		return err
+	}
+	if len(hot.Hot) == 0 {
+		return fmt.Errorf("/queries attributed no per-query cost under the live workload")
+	}
+	if h := hot.Hot[0]; h.Query == 0 || (h.Reevals == 0 && h.WireBytes == 0) {
+		return fmt.Errorf("/queries hottest entry booked no work: %+v", h)
+	}
+
 	// Crash the server — SIGKILL, no goodbyes — and restart it with
 	// -recover on the same ports. The -reconnect clients resume onto the
 	// recovered monitor while the rest of the workload plays out.
@@ -259,6 +282,57 @@ func run(serverBin, clientBin string, runFor time.Duration) error {
 		return fmt.Errorf("/trace has no events after the workload")
 	}
 
+	// After the client exits, its app connection teardown deregisters the
+	// queries it owned: the ledger must fold them into the retired aggregate
+	// rather than lose the attribution. The teardown races the client's exit
+	// status, so poll briefly.
+	retireDeadline := time.Now().Add(5 * time.Second)
+	for {
+		_, retired, err := queryLedger(adminURL)
+		if err != nil {
+			return err
+		}
+		if retired > 0 {
+			break
+		}
+		if time.Now().After(retireDeadline) {
+			return fmt.Errorf("no ledger entries retired after the client's queries were torn down")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// /debug/flightrec must hold post-drill evidence: a non-empty ring whose
+	// events include the resumed sessions' reconnect records.
+	respF, err := http.Get(adminURL + "/debug/flightrec")
+	if err != nil {
+		return fmt.Errorf("get /debug/flightrec: %w", err)
+	}
+	defer respF.Body.Close()
+	if respF.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/flightrec status %d", respF.StatusCode)
+	}
+	var flightEvents, reconnectEvents int
+	decF := json.NewDecoder(respF.Body)
+	for {
+		var ev struct {
+			Kind  string `json:"kind"`
+			Trace uint64 `json:"trace"`
+		}
+		if err := decF.Decode(&ev); err != nil {
+			break
+		}
+		flightEvents++
+		if ev.Kind == "reconnect" && ev.Trace != 0 {
+			reconnectEvents++
+		}
+	}
+	if flightEvents == 0 {
+		return fmt.Errorf("/debug/flightrec is empty after the kill/recover drill")
+	}
+	if reconnectEvents == 0 {
+		return fmt.Errorf("flight recorder holds no traced reconnect events after the drill (%d events total)", flightEvents)
+	}
+
 	// /stats must carry the batch pipeline section (workers enabled).
 	resp2, err := http.Get(adminURL + "/stats")
 	if err != nil {
@@ -277,6 +351,34 @@ func run(serverBin, clientBin string, runFor time.Duration) error {
 		return fmt.Errorf("/stats lacks the batch section with -workers 2")
 	}
 	return nil
+}
+
+// hotLedger is the slice of /queries we assert on.
+type hotLedger struct {
+	Hot []struct {
+		Query     uint64 `json:"query"`
+		Reevals   int64  `json:"reevals"`
+		WireBytes int64  `json:"wire_bytes"`
+	} `json:"hot"`
+	RetiredN int64 `json:"retired_queries"`
+}
+
+// queryLedger scrapes /queries and returns the decoded top-K view plus the
+// retired-entry count.
+func queryLedger(adminURL string) (hotLedger, int64, error) {
+	var ledger hotLedger
+	resp, err := http.Get(adminURL + "/queries?k=5")
+	if err != nil {
+		return ledger, 0, fmt.Errorf("get /queries: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ledger, 0, fmt.Errorf("/queries status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ledger); err != nil {
+		return ledger, 0, fmt.Errorf("/queries is not valid JSON: %w", err)
+	}
+	return ledger, ledger.RetiredN, nil
 }
 
 func scrape(adminURL string) (map[string]*obs.ParsedFamily, error) {

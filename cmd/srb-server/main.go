@@ -8,10 +8,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"srb/internal/chaos"
@@ -29,7 +31,7 @@ func main() {
 		steadiness  = flag.Float64("steadiness", 0, "steady-movement parameter D in [0,1] (§6.2)")
 		neighbor    = flag.Int("cellneighborhood", 0, "adaptive safe-region cell radius (§7.4 extension)")
 		workers     = flag.Int("workers", 0, "batch update pipeline worker count; 0 disables batching")
-		admin       = flag.String("admin", "", "optional HTTP admin address (/stats, /snapshot, /svg, /metrics, /trace, /debug/pprof)")
+		admin       = flag.String("admin", "", "optional HTTP admin address (/stats, /snapshot, /svg, /metrics, /trace, /queries, /debug/flightrec, /debug/pprof)")
 		obsOn       = flag.Bool("obs", true, "attach metrics and tracing when -admin is set")
 		traceBuf    = flag.Int("tracebuf", obs.DefaultTraceDepth, "decision-trace ring size (events retained for /trace)")
 		chaosSpec   = flag.String("chaos", "", "fault-injection spec applied to every connection, e.g. drop=0.01,dup=0.005,delay=5ms,delayrate=0.1,sever=0.001,seed=7")
@@ -37,6 +39,11 @@ func main() {
 		persistDir  = flag.String("persist", "", "directory for the crash-recovery snapshot + journal; empty disables persistence")
 		snapEvery   = flag.Duration("snapshot-every", 30*time.Second, "periodic snapshot interval when -persist is set; 0 journals without snapshotting")
 		recoverFlag = flag.Bool("recover", false, "replay the -persist directory's snapshot + journal before serving")
+		flightSize  = flag.Int("flightrec", obs.DefaultFlightDepth, "flight-recorder ring size (recent causal events kept for post-mortem dumps); <0 disables")
+		flightDir   = flag.String("flightrec-dir", "", "directory for flight-recorder dump files; default is the -persist directory, else the working directory")
+		sloBreach   = flag.Duration("slo", 0, "event-loop latency SLO; an op over it dumps the flight recorder (0 disables the trigger)")
+		slowOp      = flag.Duration("slowop", 0, "slow-op threshold: monitor operations at or over it are appended to -slowop-log as NDJSON (0 disables; needs -obs)")
+		slowOpLog   = flag.String("slowop-log", "", "slow-op log path, appended to; default stderr when -slowop is set")
 	)
 	flag.Parse()
 
@@ -54,6 +61,32 @@ func main() {
 		reg := obs.NewRegistry()
 		reg.PublishExpvar("srb")
 		s.SetObs(obs.NewSink(reg, obs.NewTracer(*traceBuf)))
+	}
+	if *slowOp > 0 {
+		w := io.Writer(os.Stderr)
+		if *slowOpLog != "" {
+			f, err := os.OpenFile(*slowOpLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatalf("-slowop-log: %v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		s.SetSlowOpLog(*slowOp, w)
+	}
+	// The flight recorder is on by default: a bounded ring of recent causal
+	// events dumped on SLO breach, reconnect storm, or SIGQUIT.
+	var flight *obs.FlightRecorder
+	if *flightSize >= 0 {
+		dir := *flightDir
+		if dir == "" {
+			dir = *persistDir // "" falls back to the working directory
+		}
+		flight = obs.NewFlightRecorder(*flightSize, dir)
+		flight.SetLogf(log.Printf)
+		defer flight.Close()
+		s.SetFlightRecorder(flight)
+		s.SetSLO(*sloBreach)
 	}
 	s.SetWorkers(*workers)
 	s.SetLease(*lease)
@@ -97,7 +130,7 @@ func main() {
 		}()
 	}
 
-	go func() {
+	go func() { //lint:allow goroleak signal handler: exits on interrupt, lives for the process otherwise
 		defer func() {
 			if r := recover(); r != nil {
 				log.Printf("signal handler panicked: %v", r)
@@ -105,7 +138,23 @@ func main() {
 		}()
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt)
-		<-ch
+		// SIGQUIT dumps the flight recorder and keeps serving: the black-box
+		// read-out for a live server that is misbehaving but not dead.
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		for {
+			select {
+			case <-quit:
+				if path, err := flight.DumpFile("sigquit"); err != nil {
+					log.Printf("flightrec: sigquit dump: %v", err)
+				} else {
+					fmt.Printf("flightrec: dumped %s (sigquit)\n", path)
+				}
+				continue
+			case <-ch:
+			}
+			break
+		}
 		fmt.Println("shutting down")
 		if err := s.Close(); err != nil {
 			log.Printf("close: %v", err)

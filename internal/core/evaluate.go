@@ -77,6 +77,9 @@ func (m *Monitor) RegisterRange(id query.ID, rect geom.Rect) ([]uint64, []SafeRe
 	q := query.NewRange(id, rect)
 	m.beginOp()
 	m.stats.NewQueryEvals++
+	if m.mobs != nil {
+		m.mobs.lg.noteRegister(q)
+	}
 	results := m.evalRange(q)
 	m.setResults(q, results)
 	m.queries[id] = q
@@ -104,6 +107,9 @@ func (m *Monitor) RegisterKNN(id query.ID, pt geom.Point, k int, orderSensitive 
 	q := query.NewKNN(id, pt, k, orderSensitive)
 	m.beginOp()
 	m.stats.NewQueryEvals++
+	if m.mobs != nil {
+		m.mobs.lg.noteRegister(q)
+	}
 	m.evalKNN(q)
 	m.queries[id] = q
 	m.grid.Insert(q)
@@ -132,6 +138,9 @@ func (m *Monitor) RegisterWithinDistance(id query.ID, center geom.Point, radius 
 	q := query.NewWithinDistance(id, center, radius)
 	m.beginOp()
 	m.stats.NewQueryEvals++
+	if m.mobs != nil {
+		m.mobs.lg.noteRegister(q)
+	}
 	results := m.evalCircle(q)
 	m.setResults(q, results)
 	m.queries[id] = q
@@ -196,6 +205,9 @@ func (m *Monitor) RegisterCount(id query.ID, rect geom.Rect) (int, []SafeRegionU
 	q := query.NewCountRange(id, rect)
 	m.beginOp()
 	m.stats.NewQueryEvals++
+	if m.mobs != nil {
+		m.mobs.lg.noteRegister(q)
+	}
 	results := m.evalRange(q)
 	m.setResults(q, results)
 	m.queries[id] = q
@@ -220,8 +232,12 @@ func (m *Monitor) Deregister(id query.ID) bool {
 	m.grid.Remove(q)
 	delete(m.queries, id)
 	if m.mobs != nil {
+		m.mobs.lg.retire(id)
 		m.mobs.queries.Set(float64(len(m.queries)))
-		m.mobs.tr.Instant("core", "deregister", "query", int64(id), "", 0)
+		m.mobs.qTracked.Set(float64(len(m.mobs.lg.entries)))
+		m.mobs.qRetired.Add(m.mobs.lg.retiredN - m.mobs.lg.retiredFolded)
+		m.mobs.lg.retiredFolded = m.mobs.lg.retiredN
+		m.mobs.tr.InstantTr("core", "deregister", m.opTrace, "query", int64(id), "", 0)
 	}
 	m.assertInvariants()
 	return true

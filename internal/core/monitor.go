@@ -14,11 +14,13 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"time"
 
 	"srb/internal/geom"
 	"srb/internal/gridindex"
+	"srb/internal/obs"
 	"srb/internal/query"
 	"srb/internal/rtree"
 )
@@ -155,6 +157,18 @@ type Monitor struct {
 	// mobs holds the bound observability instruments (obs.go); nil when
 	// uninstrumented, which keeps every hook to a single branch.
 	mobs *monObs
+
+	// Slow-op log configuration (SetSlowOpLog) and the black-box flight
+	// recorder (SetFlightRecorder); both optional and only consulted while an
+	// obs sink is attached, since operation timing exists only then.
+	slowThresh time.Duration
+	slowW      io.Writer
+	flight     *obs.FlightRecorder
+
+	// opTrace is the causal trace ID of the wire op currently being processed
+	// (SetOpTrace); 0 outside a traced op. Never part of monitor semantics —
+	// it only tags diagnostics (trace events, slow-op records, flight events).
+	opTrace uint64
 }
 
 // New creates a Monitor. prober must not be nil; onUpdate may be nil when the
@@ -292,6 +306,10 @@ func (m *Monitor) RemoveObject(id uint64) []SafeRegionUpdate {
 		if !q.InResult[id] {
 			continue
 		}
+		// Focus the ledger on the query under repair so refill probes bill it.
+		if m.mobs != nil {
+			m.mobs.lg.focus(q)
+		}
 		switch q.Kind {
 		case query.KindRange, query.KindCircle:
 			m.removeResultID(q, id)
@@ -301,6 +319,9 @@ func (m *Monitor) RemoveObject(id uint64) []SafeRegionUpdate {
 			m.refillKNN(q)
 			m.publish(q)
 			m.grid.Update(q)
+		}
+		if m.mobs != nil {
+			m.mobs.lg.unfocus()
 		}
 	}
 	delete(m.resultOf, id)
@@ -412,6 +433,7 @@ func (m *Monitor) finishOp(st *objectState) []SafeRegionUpdate {
 	if st != nil {
 		m.recomputeSafeRegion(st)
 		out = append(out, SafeRegionUpdate{Object: st.id, Region: st.safe})
+		m.noteGrant(st.id)
 	}
 	for _, pid := range m.sortedProbedIDs() {
 		if st != nil && pid == st.id {
@@ -423,6 +445,7 @@ func (m *Monitor) finishOp(st *objectState) []SafeRegionUpdate {
 		}
 		m.recomputeSafeRegion(pst)
 		out = append(out, SafeRegionUpdate{Object: pid, Region: pst.safe, Probed: true})
+		m.noteGrant(pid)
 	}
 	out = append(out, m.flushShrunk(st)...)
 	m.probedNow = make(map[uint64]geom.Point)
@@ -455,9 +478,18 @@ func (m *Monitor) flushShrunk(st *objectState) []SafeRegionUpdate {
 	out := make([]SafeRegionUpdate, 0, len(ids))
 	for _, id := range ids {
 		out = append(out, SafeRegionUpdate{Object: id, Region: m.objects[id].safe, Probed: true})
+		m.noteGrant(id)
 	}
 	m.shrunkNow = make(map[uint64]bool)
 	return out
+}
+
+// noteGrant bills a safe-region grant pushed for an object to the query that
+// caused the refresh (via the ledger's per-op cause map).
+func (m *Monitor) noteGrant(id uint64) {
+	if m.mobs != nil {
+		m.mobs.lg.noteGrant(id)
+	}
 }
 
 // probe requests an immediate location update from an object
@@ -542,6 +574,9 @@ func (m *Monitor) virtualProbe(id uint64) bool {
 
 func (m *Monitor) publish(q *query.Query) {
 	m.stats.ResultChanges++
+	if m.mobs != nil {
+		m.mobs.lg.notePublish(q, len(q.Results), q.Aggregate)
+	}
 	if q.Aggregate {
 		m.report(ResultUpdate{Query: q.ID, Count: len(q.Results)})
 		return

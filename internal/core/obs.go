@@ -16,6 +16,7 @@ import (
 // shrink) stream into the tracer.
 type monObs struct {
 	tr *obs.Tracer
+	lg *ledger
 
 	updates       *obs.Counter
 	probes        *obs.Counter
@@ -35,6 +36,11 @@ type monObs struct {
 
 	objects *obs.Gauge
 	queries *obs.Gauge
+
+	qTracked   *obs.Gauge
+	qRetired   *obs.Counter
+	qWireBytes *obs.Counter
+	qSlowOps   *obs.Counter
 }
 
 // SetObs attaches an observability sink to the monitor (nil detaches). Must
@@ -69,8 +75,25 @@ func (m *Monitor) SetObs(sink *obs.Sink) {
 	o.regSeconds = r.Histogram("srb_op_seconds", help, obs.LatencyBuckets(), "op", "register")
 	o.objects = r.Gauge("srb_objects", "Registered moving objects.")
 	o.queries = r.Gauge("srb_queries", "Registered continuous queries.")
+	o.qTracked = r.Gauge("srb_query_tracked", "Queries tracked in the per-query cost ledger.")
+	o.qRetired = r.Counter("srb_query_retired_total", "Ledger entries folded into the retired aggregate on deregistration.")
+	o.qWireBytes = r.Counter("srb_query_wire_bytes_total", "Estimated wire bytes attributed by the per-query ledger (probes, grants, result pushes).")
+	o.qSlowOps = r.Counter("srb_query_slow_ops_total", "Monitor operations at or over the slow-op threshold.")
+	o.lg = newLedger(m)
 	m.mobs = o
 }
+
+// SetFlightRecorder attaches a black-box flight recorder; slow operations are
+// recorded into it (and dumped by whoever owns the recorder's triggers). A
+// nil recorder detaches.
+func (m *Monitor) SetFlightRecorder(fr *obs.FlightRecorder) { m.flight = fr }
+
+// SetOpTrace sets the causal trace ID the next operations run under; the
+// server event loop sets it per dispatched wire op (0 clears). The ID tags
+// the operation's trace spans, probe/shrink instants, slow-op records, and
+// flight-recorder events, tying server-side work back to the client update
+// that caused it.
+func (m *Monitor) SetOpTrace(tr uint64) { m.opTrace = tr }
 
 // obsStart snapshots the clock and the work counters at the head of an
 // instrumented operation. Callers guard with `if m.mobs != nil`.
@@ -81,10 +104,12 @@ func (m *Monitor) obsStart() (time.Time, Stats) {
 }
 
 // done closes an instrumented operation: observe its latency, fold the Stats
-// deltas into the registry counters, refresh the population gauges, and emit
-// a trace span carrying the operation's probe/reevaluation cost.
+// deltas into the registry counters, refresh the population gauges, emit a
+// trace span carrying the operation's probe/reevaluation cost, detect slow
+// operations, and clear the ledger's per-op attribution context.
 func (o *monObs) done(m *Monitor, op string, h *obs.Histogram, start time.Time, before Stats) {
-	h.ObserveSince(start)
+	dur := time.Since(start) //lint:allow wallclock latency instrumentation, never in output
+	h.Observe(dur.Seconds())
 	d := m.stats
 	o.updates.Add(d.SourceUpdates - before.SourceUpdates)
 	o.probes.Add(d.Probes - before.Probes)
@@ -97,16 +122,33 @@ func (o *monObs) done(m *Monitor, op string, h *obs.Histogram, start time.Time, 
 	o.resultChanges.Add(d.ResultChanges - before.ResultChanges)
 	o.objects.Set(float64(len(m.objects)))
 	o.queries.Set(float64(len(m.queries)))
-	o.tr.Span("core", op, start,
+	o.qTracked.Set(float64(len(o.lg.entries)))
+	o.qWireBytes.Add(o.lg.wireTotal - o.lg.wireFolded)
+	o.lg.wireFolded = o.lg.wireTotal
+	o.qRetired.Add(o.lg.retiredN - o.lg.retiredFolded)
+	o.lg.retiredFolded = o.lg.retiredN
+	o.tr.SpanTr("core", op, m.opTrace, start,
 		"probes", d.Probes-before.Probes,
 		"reevals", d.Reevaluations-before.Reevaluations)
+	if m.slowThresh > 0 && dur >= m.slowThresh {
+		o.qSlowOps.Inc()
+		if m.slowW != nil {
+			m.writeSlowOp(op, dur, d, before)
+		}
+		m.flight.Record(obs.FlightEvent{
+			Kind: obs.FlightSlowOp, Trace: m.opTrace,
+			DurNS: dur.Nanoseconds(), Note: op,
+		})
+	}
+	o.lg.opEnd()
 }
 
 // noteProbe emits the decision-level probe event (the counter is folded in
-// at operation end from the Stats delta).
+// at operation end from the Stats delta) and bills it to the focused query.
 func (m *Monitor) noteProbe(id uint64) {
 	if m.mobs != nil {
-		m.mobs.tr.Instant("core", "probe", "obj", int64(id), "", 0)
+		m.mobs.tr.InstantTr("core", "probe", m.opTrace, "obj", int64(id), "", 0)
+		m.mobs.lg.noteProbe(id)
 	}
 }
 
@@ -115,7 +157,8 @@ func (m *Monitor) noteProbe(id uint64) {
 func (m *Monitor) noteProbeAvoided(id uint64) {
 	m.stats.ProbesAvoided++
 	if m.mobs != nil {
-		m.mobs.tr.Instant("core", "probe-avoided", "obj", int64(id), "", 0)
+		m.mobs.tr.InstantTr("core", "probe-avoided", m.opTrace, "obj", int64(id), "", 0)
+		m.mobs.lg.noteProbeAvoided()
 	}
 }
 
@@ -123,7 +166,8 @@ func (m *Monitor) noteProbeAvoided(id uint64) {
 // virtual probe; the event name carries the shrink reason.
 func (m *Monitor) noteShrink(id uint64) {
 	if m.mobs != nil {
-		m.mobs.tr.Instant("core", "sr-shrink-reachability", "obj", int64(id), "", 0)
+		m.mobs.tr.InstantTr("core", "sr-shrink-reachability", m.opTrace, "obj", int64(id), "", 0)
+		m.mobs.lg.noteShrink(id)
 	}
 }
 
@@ -132,7 +176,8 @@ func (m *Monitor) noteShrink(id uint64) {
 func (m *Monitor) noteKNNCase(q *query.Query, c int) {
 	if m.mobs != nil {
 		m.mobs.knnCase[c-1].Inc()
-		m.mobs.tr.Instant("core", "knn-case", "case", int64(c), "query", int64(q.ID))
+		m.mobs.tr.InstantTr("core", "knn-case", m.opTrace, "case", int64(c), "query", int64(q.ID))
+		m.mobs.lg.noteKNNCase(q, c)
 	}
 }
 
@@ -140,10 +185,12 @@ func (m *Monitor) noteKNNCase(q *query.Query, c int) {
 // effect sequence advances SourceUpdates and SafeRegionsBuilt without going
 // through an instrumented op wrapper, so the two counters are bumped
 // directly; population is unchanged and no probes or reevaluations happen on
-// this path by construction.
+// this path by construction. The ledger books the same sequence (plus the
+// single region grant) against its Unattributed bucket.
 func (m *Monitor) noteFastPath() {
 	if m.mobs != nil {
 		m.mobs.updates.Inc()
 		m.mobs.safeRegions.Inc()
+		m.mobs.lg.noteFastPath()
 	}
 }

@@ -28,6 +28,9 @@ func (m *Monitor) Update(id uint64, p geom.Point) []SafeRegionUpdate {
 		t0, before = m.obsStart()
 	}
 	m.stats.SourceUpdates++
+	if m.mobs != nil {
+		m.mobs.lg.noteUpdate()
+	}
 	m.beginOp()
 	pLst := st.lastLoc
 	st.prevLoc = pLst
@@ -77,6 +80,7 @@ func (m *Monitor) reevaluate(q *query.Query, st *objectState, pLst geom.Point) {
 	var t0 time.Time
 	if m.mobs != nil {
 		t0 = time.Now() //lint:allow wallclock latency instrumentation, never in output
+		m.mobs.lg.noteReeval(q)
 	}
 	m.stats.Reevaluations++
 	before := append([]uint64(nil), q.Results...)
@@ -97,7 +101,8 @@ func (m *Monitor) reevaluate(q *query.Query, st *objectState, pLst geom.Point) {
 		m.publish(q)
 	}
 	if m.mobs != nil {
-		m.mobs.tr.Span("core", "reevaluate", t0, "query", int64(q.ID), "kind", int64(q.Kind))
+		m.mobs.tr.SpanTr("core", "reevaluate", m.opTrace, t0, "query", int64(q.ID), "kind", int64(q.Kind))
+		m.mobs.lg.unfocus()
 	}
 }
 
@@ -109,8 +114,14 @@ func (m *Monitor) reevalRange(q *query.Query, st *objectState) {
 	was := q.InResult[st.id]
 	switch {
 	case in && !was:
+		if m.mobs != nil {
+			m.mobs.lg.noteEnter(q)
+		}
 		m.appendResultID(q, st.id, -1)
 	case !in && was:
+		if m.mobs != nil {
+			m.mobs.lg.noteExit(q)
+		}
 		m.removeResultID(q, st.id)
 	}
 }
@@ -122,8 +133,14 @@ func (m *Monitor) reevalCircle(q *query.Query, st *objectState) {
 	was := q.InResult[st.id]
 	switch {
 	case in && !was:
+		if m.mobs != nil {
+			m.mobs.lg.noteEnter(q)
+		}
 		m.appendResultID(q, st.id, -1)
 	case !in && was:
+		if m.mobs != nil {
+			m.mobs.lg.noteExit(q)
+		}
 		m.removeResultID(q, st.id)
 	}
 }
@@ -278,6 +295,9 @@ func (m *Monitor) refillKNN(q *query.Query) {
 // inconsistent incremental states.
 func (m *Monitor) fullReevalKNN(q *query.Query) {
 	m.stats.FullReevals++
+	if m.mobs != nil {
+		m.mobs.lg.noteFullReeval(q)
+	}
 	m.evalKNN(q)
 }
 

@@ -81,6 +81,9 @@ func (m *Monitor) safeRegionFromRelevant(st *objectState, relevant []*query.Quer
 // relevant queries of its grid cell and mirrors it into the object index.
 func (m *Monitor) recomputeSafeRegion(st *objectState) {
 	m.stats.SafeRegionsBuilt++
+	if m.mobs != nil {
+		m.mobs.lg.noteSafeRegion(st.id)
+	}
 	relevant, cell := m.relevantQueriesAt(st.lastLoc)
 	st.safe = clampSafe(m.safeRegionFromRelevant(st, relevant, cell), st.lastLoc)
 	m.tree.Update(st.id, st.safe)

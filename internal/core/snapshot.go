@@ -115,6 +115,12 @@ func (m *Monitor) LoadSnapshot(r io.Reader) error {
 		m.setResults(q, qs.Results)
 		m.grid.Insert(q)
 	}
+	// The restored Stats predate any attached ledger; re-base per-query
+	// accounting on the recovered query population so attribution (and the
+	// sum-to-global-counters invariant) restarts cleanly at the recovery point.
+	if m.mobs != nil {
+		m.mobs.lg.reset(m)
+	}
 	m.assertInvariants()
 	return nil
 }

@@ -2,6 +2,7 @@ package load
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -85,6 +86,15 @@ func TestLoadHarnessShortRun(t *testing.T) {
 	ctl := &inprocControl{addr: addr, dir: dir, srv: srv}
 	t.Cleanup(func() { _ = ctl.srv.Close() })
 
+	// Flight recorder + admin surface on the first server life: the harness
+	// resolves the worst-ack trace before the drill kills this process, so
+	// the restarted life needs neither.
+	fr := obs.NewFlightRecorder(8192, t.TempDir())
+	t.Cleanup(fr.Close)
+	srv.SetFlightRecorder(fr)
+	admin := httptest.NewServer(srv.AdminHandler())
+	t.Cleanup(admin.Close)
+
 	reg := obs.NewRegistry()
 	cfg := Config{
 		Addr:             addr,
@@ -103,6 +113,7 @@ func TestLoadHarnessShortRun(t *testing.T) {
 		SLOP99:           2 * time.Second, // generous: CI boxes are slow, the schema is the test
 		Recovery:         &RecoveryConfig{Control: ctl, Timeout: 20 * time.Second},
 		Registry:         reg,
+		FlightURL:        admin.URL + "/debug/flightrec",
 	}
 	report, err := Run(cfg)
 	if err != nil {
@@ -131,6 +142,16 @@ func TestLoadHarnessShortRun(t *testing.T) {
 			t.Errorf("stage 1 update-ack quantiles not all positive: %+v", st.UpdateAck)
 			break
 		}
+	}
+
+	// The worst-ack trace must resolve to a complete causal chain — causing
+	// wire event plus the grant it produced — in the flight-recorder ring.
+	if !report.Flight.Checked || report.Flight.Trace == 0 {
+		t.Errorf("flight check did not run: %+v", report.Flight)
+	}
+	if !report.Flight.Complete {
+		t.Errorf("worst-ack trace %#x chain incomplete: %d events, kinds %v",
+			report.Flight.Trace, report.Flight.Events, report.Flight.Kinds)
 	}
 
 	// SIGKILL → recover → SLO-restored sequencing, all finite.

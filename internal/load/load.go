@@ -34,6 +34,7 @@
 package load
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -117,6 +118,12 @@ type Config struct {
 	// MetricsURL, when non-empty, is the server's /metrics endpoint; selected
 	// family sums are scraped into the report's server section at run end.
 	MetricsURL string
+	// FlightURL, when non-empty, is the server's /debug/flightrec endpoint.
+	// At the end of the ramp (before any recovery drill restarts the server
+	// and resets its ring) the harness resolves the run's worst update-ack
+	// trace ID against the flight recorder and folds the outcome into the
+	// report's flight section.
+	FlightURL string
 	// Logf receives progress lines; nil silences the harness.
 	Logf func(format string, args ...interface{})
 }
@@ -255,6 +262,30 @@ type stageAcc struct {
 	updates atomic.Int64
 	acks    atomic.Int64
 	errors  atomic.Int64
+
+	// The worst (maximum-latency) ack and the causal trace ID of the update
+	// it acknowledged, for post-mortem lookup in the server's flight
+	// recorder. Mutex-guarded: the worst-ack update is off the common path
+	// (most acks lose the comparison after one read under the lock).
+	mu         sync.Mutex
+	worstLat   float64
+	worstTrace uint64
+}
+
+// noteWorst keeps the maximum observed ack latency and its trace.
+func (a *stageAcc) noteWorst(lat float64, tr uint64) {
+	a.mu.Lock()
+	if lat > a.worstLat {
+		a.worstLat, a.worstTrace = lat, tr
+	}
+	a.mu.Unlock()
+}
+
+// worst returns the stage's maximum ack latency and its trace.
+func (a *stageAcc) worst() (float64, uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.worstLat, a.worstTrace
 }
 
 func newStageAcc() *stageAcc {
@@ -311,11 +342,13 @@ func (w *ackWatch) note(lat float64, now time.Time) {
 }
 
 // noteAck records one update-ack observation everywhere it is consumed:
-// current stage, registry metrics, and the recovery watch.
-func (h *harness) noteAck(lat float64, now time.Time) {
+// current stage (including the worst-ack trace tracker), registry metrics,
+// and the recovery watch.
+func (h *harness) noteAck(lat float64, now time.Time, trace uint64) {
 	if acc := h.cur.Load(); acc != nil {
 		acc.ack.Observe(lat)
 		acc.acks.Add(1)
+		acc.noteWorst(lat, trace)
 	}
 	h.m.UpdateAck.Observe(lat)
 	h.m.Acks.Inc()
@@ -427,6 +460,7 @@ func Run(cfg Config) (*Report, error) {
 		dur := time.Since(t0).Seconds()
 
 		recon := h.reconnects()
+		worstLat, worstTr := acc.worst()
 		st := StageReport{
 			Sessions:        want,
 			DurationSeconds: dur,
@@ -434,6 +468,8 @@ func Run(cfg Config) (*Report, error) {
 			AckedUpdates:    acc.acks.Load(),
 			UpdateAck:       summarize(acc.ack),
 			ProbeRTT:        summarize(acc.probe),
+			WorstAckSeconds: worstLat,
+			WorstAckTrace:   worstTr,
 			Errors:          acc.errors.Load(),
 			Reconnects:      recon - lastReconnects,
 		}
@@ -459,6 +495,15 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 	report.Capacity.SessionsPerCore = float64(report.Capacity.MaxSessionsAtSLO) / float64(report.Cores)
+
+	// Resolve the worst tail's causal chain before the drill: a recovery
+	// restart would replace the server process and its flight-recorder ring.
+	if cfg.FlightURL != "" {
+		report.Flight = checkFlight(cfg.FlightURL, report.Stages)
+		cfg.Logf("load: flight: trace %#x (stage %d): %d events %v, complete=%v",
+			report.Flight.Trace, report.Flight.Stage+1, report.Flight.Events,
+			report.Flight.Kinds, report.Flight.Complete)
+	}
 
 	if cfg.Recovery != nil {
 		rec, err := h.recoveryDrill(cfg.Recovery)
@@ -549,6 +594,60 @@ func (h *harness) shutdown() {
 	}
 	h.wg.Wait()
 	h.m.Sessions.Set(0)
+}
+
+// checkFlight resolves the ramp's worst update-ack trace against the
+// server's flight-recorder ring: it picks the stage with the largest worst
+// ack, streams the /debug/flightrec NDJSON, and classifies the events
+// carrying that trace. A complete chain has both the causing wire event
+// (update receipt, session resume, or query registration) and the
+// safe-region grant it produced.
+func checkFlight(url string, stages []StageReport) FlightCheck {
+	fc := FlightCheck{Checked: true}
+	for i, st := range stages {
+		if st.WorstAckTrace != 0 && st.WorstAckSeconds >= stages[fc.Stage].WorstAckSeconds {
+			fc.Stage, fc.Trace = i, st.WorstAckTrace
+		}
+	}
+	if fc.Trace == 0 {
+		return fc
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return fc
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	var cause, grant bool
+	for {
+		var ev obs.FlightEvent
+		if err := dec.Decode(&ev); err != nil {
+			break
+		}
+		if ev.Trace != fc.Trace {
+			continue
+		}
+		fc.Events++
+		fc.Kinds = appendUnique(fc.Kinds, ev.Kind)
+		switch ev.Kind {
+		case obs.FlightUpdate, obs.FlightReconnect, obs.FlightRegister:
+			cause = true
+		case obs.FlightGrant:
+			grant = true
+		}
+	}
+	fc.Complete = cause && grant
+	return fc
+}
+
+// appendUnique appends s if absent (kind lists are tiny; linear scan wins).
+func appendUnique(list []string, s string) []string {
+	for _, have := range list {
+		if have == s {
+			return list
+		}
+	}
+	return append(list, s)
 }
 
 // scrapedFamilies is the server-side family selection folded into the report.

@@ -127,11 +127,15 @@ func validReport() *Report {
 		Cores:  4,
 		Stages: []StageReport{
 			{Sessions: 8, DurationSeconds: 5, OfferedUpdates: 100, AckedUpdates: 90,
-				UpdateAck: mk(90), ProbeRTT: mk(20), MetSLO: true},
+				UpdateAck: mk(90), ProbeRTT: mk(20),
+				WorstAckSeconds: 0.011, WorstAckTrace: 0xdeadbeef, MetSLO: true},
 			{Sessions: 16, DurationSeconds: 5, OfferedUpdates: 200, AckedUpdates: 180,
-				UpdateAck: mk(180), ProbeRTT: mk(20), MetSLO: false},
+				UpdateAck: mk(180), ProbeRTT: mk(20),
+				WorstAckSeconds: 0.031, WorstAckTrace: 0xfeedface, MetSLO: false},
 		},
 		Capacity: CapacityReport{SLOP99Seconds: 0.05, MaxSessionsAtSLO: 8, SessionsPerCore: 2, Saturated: true},
+		Flight: FlightCheck{Checked: true, Trace: 0xfeedface, Stage: 1, Events: 3,
+			Kinds: []string{"update", "probe", "grant"}, Complete: true},
 		Recovery: RecoveryReport{Performed: true, KillAtSeconds: 10, RecoveredAtSeconds: 10.4,
 			SLORestoredAtSeconds: 10.9, RTOSeconds: 0.4, SLORestoreSeconds: 0.9},
 	}
@@ -158,9 +162,15 @@ func TestReportValidateNegatives(t *testing.T) {
 		{"non-monotone quantiles", func(r *Report) { r.Stages[0].ProbeRTT.P99 = 1 }, "not monotone"},
 		{"no acks in stage 1", func(r *Report) { r.Stages[0].UpdateAck = LatencySummary{} }, "no update acks"},
 		{"no probes in stage 1", func(r *Report) { r.Stages[0].ProbeRTT = LatencySummary{} }, "no probe"},
+		{"acks but no worst-ack latency", func(r *Report) { r.Stages[0].WorstAckSeconds = 0 }, "worst-ack"},
+		{"worst ack below mean", func(r *Report) { r.Stages[1].WorstAckSeconds = 0.001 }, "below mean"},
+		{"untraced worst ack", func(r *Report) { r.Stages[0].WorstAckTrace = 0 }, "causal trace"},
 		{"no SLO", func(r *Report) { r.Capacity.SLOP99Seconds = 0 }, "SLO"},
 		{"no capacity", func(r *Report) { r.Capacity.MaxSessionsAtSLO = 0 }, "no stage met"},
 		{"no per-core figure", func(r *Report) { r.Capacity.SessionsPerCore = 0 }, "per-core"},
+		{"flight check without a trace", func(r *Report) { r.Flight.Trace = 0 }, "no worst-ack trace"},
+		{"unresolved flight trace", func(r *Report) { r.Flight.Events = 0 }, "no flight-recorder events"},
+		{"incomplete causal chain", func(r *Report) { r.Flight.Complete = false }, "incomplete"},
 		{"zero RTO", func(r *Report) { r.Recovery.RTOSeconds = 0 }, "rto_seconds"},
 		{"recovery before kill", func(r *Report) { r.Recovery.RecoveredAtSeconds = 9 }, "sequencing"},
 		{"restore before kill", func(r *Report) { r.Recovery.SLORestoredAtSeconds = 9 }, "sequencing"},

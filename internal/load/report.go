@@ -11,7 +11,9 @@ import (
 
 // ReportSchema identifies the capacity-report JSON layout; bump it when a
 // field changes meaning so downstream diffing tools can refuse mixed files.
-const ReportSchema = "srb-load/v1"
+// v2 added the per-stage worst-ack latency and its causal trace ID
+// (worst_ack_seconds / worst_ack_trace).
+const ReportSchema = "srb-load/v2"
 
 // LatencySummary is the quantile digest of one latency histogram, in seconds.
 type LatencySummary struct {
@@ -52,6 +54,14 @@ type StageReport struct {
 	UpdateAck LatencySummary `json:"update_ack_seconds"`
 	// ProbeRTT digests the synchronous query-registration probe round trips.
 	ProbeRTT LatencySummary `json:"probe_rtt_seconds"`
+	// WorstAckSeconds is the single worst update-ack latency observed in the
+	// stage — the exact maximum, not a histogram-bucket estimate like P999.
+	WorstAckSeconds float64 `json:"worst_ack_seconds"`
+	// WorstAckTrace is the causal trace ID minted for the update whose ack
+	// was WorstAckSeconds. Feeding it to the server's flight recorder dump
+	// (/debug/flightrec) or Chrome trace reconstructs the tail event's full
+	// causal chain: update receipt, probes, safe-region grant.
+	WorstAckTrace uint64 `json:"worst_ack_trace"`
 	// Errors counts frame-write and probe round-trip failures in the stage.
 	Errors int64 `json:"errors"`
 	// Reconnects counts session resumes that completed during the stage.
@@ -98,6 +108,27 @@ type RecoveryReport struct {
 	Reconnects int64 `json:"reconnects"`
 }
 
+// FlightCheck is the outcome of resolving the run's worst update-ack trace
+// ID against the server's flight recorder (/debug/flightrec): the black-box
+// proof that the tail event's causal chain — update receipt through
+// safe-region grant — survived into the post-mortem evidence.
+type FlightCheck struct {
+	// Checked distinguishes a performed resolution from a run without a
+	// flight endpoint configured.
+	Checked bool `json:"checked"`
+	// Trace is the worst update-ack trace ID that was looked up, and Stage
+	// the zero-based ramp stage it came from.
+	Trace uint64 `json:"trace"`
+	Stage int    `json:"stage"`
+	// Events counts flight-recorder events carrying the trace; Kinds lists
+	// their distinct kinds in ring order.
+	Events int      `json:"events"`
+	Kinds  []string `json:"kinds,omitempty"`
+	// Complete reports a full causal chain: both the causing wire event and
+	// the safe-region grant it produced were retained.
+	Complete bool `json:"complete"`
+}
+
 // ConfigEcho pins the inputs that shaped the run into the report, so two
 // LOAD_*.json files are only compared when they measured the same workload.
 type ConfigEcho struct {
@@ -125,6 +156,7 @@ type Report struct {
 	Stages   []StageReport  `json:"stages"`
 	Capacity CapacityReport `json:"capacity"`
 	Recovery RecoveryReport `json:"recovery"`
+	Flight   FlightCheck    `json:"flight"`
 	// Server holds selected family sums scraped from the server's /metrics at
 	// the end of the run (empty when no metrics URL was configured) — the
 	// server-side view to hold against the client-side latencies above.
@@ -163,6 +195,20 @@ func (r *Report) Validate() error {
 		if err := st.ProbeRTT.validate(fmt.Sprintf("stage %d probe_rtt", i)); err != nil {
 			return err
 		}
+		// Any stage that observed acks must have attributed its worst one:
+		// a positive exact maximum at or above the histogram's mean, carrying
+		// the causal trace ID of the update it acknowledged.
+		if st.UpdateAck.Count > 0 {
+			if st.WorstAckSeconds <= 0 {
+				return fmt.Errorf("load: stage %d observed %d acks but no worst-ack latency", i, st.UpdateAck.Count)
+			}
+			if st.WorstAckSeconds < st.UpdateAck.Mean {
+				return fmt.Errorf("load: stage %d worst ack %gs below mean %gs", i, st.WorstAckSeconds, st.UpdateAck.Mean)
+			}
+			if st.WorstAckTrace == 0 {
+				return fmt.Errorf("load: stage %d worst ack carries no causal trace ID", i)
+			}
+		}
 	}
 	// The first stage must actually have exercised both latency families —
 	// a report with empty histograms means the workload never ran.
@@ -180,6 +226,17 @@ func (r *Report) Validate() error {
 	}
 	if r.Capacity.SessionsPerCore <= 0 {
 		return fmt.Errorf("load: sessions-per-core capacity not measured")
+	}
+	if r.Flight.Checked {
+		if r.Flight.Trace == 0 {
+			return fmt.Errorf("load: flight check ran but found no worst-ack trace to resolve")
+		}
+		if r.Flight.Events == 0 {
+			return fmt.Errorf("load: worst-ack trace %#x resolved to no flight-recorder events", r.Flight.Trace)
+		}
+		if !r.Flight.Complete {
+			return fmt.Errorf("load: worst-ack trace %#x causal chain incomplete: kinds %v", r.Flight.Trace, r.Flight.Kinds)
+		}
 	}
 	if r.Recovery.Performed {
 		rec := r.Recovery

@@ -17,6 +17,14 @@ import (
 // measurement honest (see the package comment).
 const maxPending = 32
 
+// pendingUpdate is one unacked update frame: when it was handed to the
+// transport and the causal trace ID minted for it, so the worst-latency ack of
+// a stage can be traced through the server's flight recorder.
+type pendingUpdate struct {
+	t  time.Time
+	tr uint64
+}
+
 // session is one simulated mobile user: a deterministic waypoint walker, an
 // auto-reconnecting wire client, and the pending-ack bookkeeping that turns
 // region grants into latency observations.
@@ -27,8 +35,8 @@ type session struct {
 	client *remote.MobileClient
 
 	mu       sync.Mutex
-	pending  []time.Time // send times of unacked updates, oldest first
-	lastSend time.Time   // last update frame of any kind, for ReportEvery
+	pending  []pendingUpdate // unacked updates, oldest first
+	lastSend time.Time       // last update frame of any kind, for ReportEvery
 }
 
 // newSession dials one mobile session and starts its tick loop. Each session
@@ -74,7 +82,7 @@ func startPosition(cfg Config, id uint64) geom.Point {
 // onUpdateSent is the client hook for every update frame handed to the
 // transport; it timestamps the pending ack and feeds the offered-rate
 // counters.
-func (s *session) onUpdateSent(err error) {
+func (s *session) onUpdateSent(trace uint64, err error) {
 	now := time.Now()
 	s.h.noteUpdate(err)
 	if err != nil {
@@ -86,26 +94,36 @@ func (s *session) onUpdateSent(err error) {
 		copy(s.pending, s.pending[1:])
 		s.pending = s.pending[:maxPending-1]
 	}
-	s.pending = append(s.pending, now)
+	s.pending = append(s.pending, pendingUpdate{t: now, tr: trace})
 	s.mu.Unlock()
 }
 
 // onRegionGranted is the client hook for safe-region grants: the grant acks
 // the newest pending update (older in-flight updates were coalesced under
 // it), and grants with nothing pending — pushes caused by other objects'
-// movement or query churn — are not acks and are ignored.
-func (s *session) onRegionGranted() {
+// movement or query churn — are not acks and are ignored. The latency
+// observation carries a causal trace ID so the stage's worst ack can be
+// looked up in the server's flight recorder: the grant's echoed trace when
+// present (it names the event the server recorded as the grant's cause),
+// else the acked update's own minted trace.
+func (s *session) onRegionGranted(grantTr uint64) {
 	now := time.Now()
 	s.mu.Lock()
 	var lat float64
+	var tr uint64
 	acked := len(s.pending) > 0
 	if acked {
-		lat = now.Sub(s.pending[len(s.pending)-1]).Seconds()
+		newest := s.pending[len(s.pending)-1]
+		lat = now.Sub(newest.t).Seconds()
+		tr = grantTr
+		if tr == 0 {
+			tr = newest.tr
+		}
 		s.pending = s.pending[:0]
 	}
 	s.mu.Unlock()
 	if acked {
-		s.h.noteAck(lat, now)
+		s.h.noteAck(lat, now, tr)
 	}
 }
 

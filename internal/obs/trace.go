@@ -4,38 +4,54 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Event is one decision-level trace record: a completed span (Dur > 0) or an
 // instant marker. Up to two integer arguments ride along under fixed keys so
-// emitting an event never allocates.
+// emitting an event never allocates. Tr carries the causal trace ID minted at
+// the client update/register site (0 when the event is not part of a causal
+// chain), letting one wire update's whole server-side chain be filtered out
+// of the Chrome trace.
 type Event struct {
 	TS   int64 // nanoseconds since the tracer's epoch
 	Dur  int64 // span duration in nanoseconds; 0 marks an instant event
 	Cat  string
 	Name string
+	Tr   uint64 // causal trace ID; 0 when unrelated to a wire op
 	K1   string // "" when unused
 	V1   int64
 	K2   string
 	V2   int64
 }
 
-// Tracer records recent events into a bounded ring buffer. Writers take one
-// short mutex-protected critical section (a struct store and an index
-// increment — tens of nanoseconds uncontended, and the monitoring stack's
-// emitters are already serialized on the event loop); when the ring is full
-// the oldest events are overwritten, so the tracer holds the most recent
-// window of decision history at a fixed memory cost.
+// Tracer records recent events into a bounded ring buffer that is safe for
+// fully concurrent writers and readers. A writer reserves a slot with one
+// atomic increment and copies its event under that slot's private mutex; a
+// sequence stamp per slot makes the newest reservation win, so a delayed
+// writer that lost its slot to a wrap can never interleave a torn or stale
+// event into the export. Readers (Events, WriteChromeTrace) lock each slot
+// individually and order the survivors by sequence, so they see only complete
+// events and never block the whole ring.
 //
 // A nil Tracer discards all events, so instrumented code can emit
 // unconditionally behind a single enabled-check.
 type Tracer struct {
-	mu    sync.Mutex
-	buf   []Event
-	n     uint64 // total events ever emitted
+	n     atomic.Uint64 // total reservations ever made
+	slots []traceSlot
 	epoch time.Time
+}
+
+// traceSlot is one ring entry: the event plus the 1-based reservation index
+// that wrote it (0 = never written). The per-slot mutex makes the pair
+// atomic with respect to readers and competing delayed writers.
+type traceSlot struct {
+	mu  sync.Mutex
+	seq uint64
+	ev  Event
 }
 
 // DefaultTraceDepth is the ring size used when NewTracer is given a
@@ -47,19 +63,30 @@ func NewTracer(size int) *Tracer {
 	if size <= 0 {
 		size = DefaultTraceDepth
 	}
-	return &Tracer{buf: make([]Event, size), epoch: time.Now()} //lint:allow wallclock trace timestamps are wall-clock by design
+	return &Tracer{slots: make([]traceSlot, size), epoch: time.Now()} //lint:allow wallclock trace timestamps are wall-clock by design
 }
 
 func (t *Tracer) emit(e Event) {
-	t.mu.Lock()
-	t.buf[t.n%uint64(len(t.buf))] = e
-	t.n++
-	t.mu.Unlock()
+	idx := t.n.Add(1)
+	s := &t.slots[(idx-1)%uint64(len(t.slots))]
+	s.mu.Lock()
+	// Newest reservation wins: if a later writer wrapped around and already
+	// claimed this slot, a delayed older writer must not clobber it.
+	if idx > s.seq {
+		s.seq = idx
+		s.ev = e
+	}
+	s.mu.Unlock()
 }
 
 // Span records a completed operation that began at start. Unused argument
 // slots take an empty key.
 func (t *Tracer) Span(cat, name string, start time.Time, k1 string, v1 int64, k2 string, v2 int64) {
+	t.SpanTr(cat, name, 0, start, k1, v1, k2, v2)
+}
+
+// SpanTr records a completed operation tagged with a causal trace ID.
+func (t *Tracer) SpanTr(cat, name string, tr uint64, start time.Time, k1 string, v1 int64, k2 string, v2 int64) {
 	if t == nil {
 		return
 	}
@@ -67,7 +94,7 @@ func (t *Tracer) Span(cat, name string, start time.Time, k1 string, v1 int64, k2
 	t.emit(Event{
 		TS:  start.Sub(t.epoch).Nanoseconds(),
 		Dur: now.Sub(start).Nanoseconds(),
-		Cat: cat, Name: name, K1: k1, V1: v1, K2: k2, V2: v2,
+		Cat: cat, Name: name, Tr: tr, K1: k1, V1: v1, K2: k2, V2: v2,
 	})
 }
 
@@ -87,12 +114,17 @@ func (t *Tracer) SpanBetween(cat, name string, start, end time.Time, k1 string, 
 
 // Instant records a point-in-time marker.
 func (t *Tracer) Instant(cat, name, k1 string, v1 int64, k2 string, v2 int64) {
+	t.InstantTr(cat, name, 0, k1, v1, k2, v2)
+}
+
+// InstantTr records a point-in-time marker tagged with a causal trace ID.
+func (t *Tracer) InstantTr(cat, name string, tr uint64, k1 string, v1 int64, k2 string, v2 int64) {
 	if t == nil {
 		return
 	}
 	t.emit(Event{
 		TS:  time.Since(t.epoch).Nanoseconds(), //lint:allow wallclock trace timestamps are wall-clock by design
-		Cat: cat, Name: name, K1: k1, V1: v1, K2: k2, V2: v2,
+		Cat: cat, Name: name, Tr: tr, K1: k1, V1: v1, K2: k2, V2: v2,
 	})
 }
 
@@ -102,39 +134,51 @@ func (t *Tracer) Total() uint64 {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.n
+	return t.n.Load()
 }
 
-// Dropped returns the number of events lost to ring overwrites.
+// Dropped returns the number of events lost to ring overwrites. Under
+// concurrent wrapping a handful of additional events may have been discarded
+// by slot races; the figure is exact for serialized emitters.
 func (t *Tracer) Dropped() uint64 {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.n <= uint64(len(t.buf)) {
+	n := t.n.Load()
+	if n <= uint64(len(t.slots)) {
 		return 0
 	}
-	return t.n - uint64(len(t.buf))
+	return n - uint64(len(t.slots))
 }
 
-// Events returns the retained events, oldest first.
+// Events returns the retained events, oldest first. Each event is read
+// atomically with its sequence stamp, so concurrent writers can wrap the ring
+// during the scan without a torn record appearing in the output.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	size := uint64(len(t.buf))
-	if t.n <= size {
-		return append([]Event(nil), t.buf[:t.n]...)
+	type rec struct {
+		seq uint64
+		ev  Event
 	}
-	out := make([]Event, 0, size)
-	start := t.n % size
-	out = append(out, t.buf[start:]...)
-	out = append(out, t.buf[:start]...)
+	recs := make([]rec, 0, len(t.slots))
+	for i := range t.slots {
+		s := &t.slots[i]
+		s.mu.Lock()
+		if s.seq != 0 {
+			recs = append(recs, rec{s.seq, s.ev})
+		}
+		s.mu.Unlock()
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+	out := make([]Event, len(recs))
+	for i, r := range recs {
+		out[i] = r.ev
+	}
 	return out
 }
 
@@ -158,6 +202,8 @@ type chromeTrace struct {
 }
 
 // WriteChromeTrace renders the retained events as Chrome trace-event JSON.
+// Events carrying a causal trace ID expose it as the "trace" arg, so one wire
+// update's full chain is one search away in the trace viewer.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	evs := t.Events()
 	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(evs))}
@@ -177,13 +223,16 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			ce.Ph = "i"
 			ce.S = "g"
 		}
-		if e.K1 != "" || e.K2 != "" {
-			ce.Args = make(map[string]int64, 2)
+		if e.K1 != "" || e.K2 != "" || e.Tr != 0 {
+			ce.Args = make(map[string]int64, 3)
 			if e.K1 != "" {
 				ce.Args[e.K1] = e.V1
 			}
 			if e.K2 != "" {
 				ce.Args[e.K2] = e.V2
+			}
+			if e.Tr != 0 {
+				ce.Args["trace"] = int64(e.Tr)
 			}
 		}
 		out.TraceEvents = append(out.TraceEvents, ce)

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stressNames maps a payload value to the event name a writer must have used,
+// giving readers an internal-consistency relation to detect torn events: for
+// every observed event, Name, V1 and V2 must all derive from the same value.
+var stressNames = [3]string{"alpha", "beta", "gamma"}
+
+// TestTracerConcurrentWrapNoTornEvents hammers a tiny ring with concurrent
+// Span/Instant writers — every emit wraps the ring — while readers
+// continuously export. Every observed event must be internally consistent
+// (payload fields all from one writer) and the retained window must stay
+// ordered and bounded. Run under -race this also pins the memory-safety of
+// the slot protocol.
+func TestTracerConcurrentWrapNoTornEvents(t *testing.T) {
+	const (
+		ringSize = 8
+		writers  = 8
+		iters    = 2000
+	)
+	tr := NewTracer(ringSize)
+
+	check := func(e Event) {
+		if e.K1 != "a" || e.K2 != "b" {
+			t.Errorf("torn event: keys %q/%q", e.K1, e.K2)
+		}
+		if e.V1 != e.V2 {
+			t.Errorf("torn event: V1=%d V2=%d", e.V1, e.V2)
+		}
+		if want := stressNames[e.V1%3]; e.Name != want {
+			t.Errorf("torn event: name %q does not match payload %d (want %q)", e.Name, e.V1, want)
+		}
+		if uint64(e.V1) != e.Tr {
+			t.Errorf("torn event: trace %d does not match payload %d", e.Tr, e.V1)
+		}
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				evs := tr.Events()
+				if len(evs) > ringSize {
+					t.Errorf("retained %d events, ring size %d", len(evs), ringSize)
+				}
+				for _, e := range evs {
+					check(e)
+				}
+				if err := tr.WriteChromeTrace(io.Discard); err != nil {
+					t.Errorf("chrome export: %v", err)
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				v := int64(w*iters + i)
+				name := stressNames[v%3]
+				if i%2 == 0 {
+					tr.InstantTr("stress", name, uint64(v), "a", v, "b", v)
+				} else {
+					tr.SpanTr("stress", name, uint64(v), start, "a", v, "b", v)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got, want := tr.Total(), uint64(writers*iters); got != want {
+		t.Fatalf("total = %d, want %d (no emit may be lost from the count)", got, want)
+	}
+	evs := tr.Events()
+	if len(evs) == 0 || len(evs) > ringSize {
+		t.Fatalf("retained %d events after quiescence, want 1..%d", len(evs), ringSize)
+	}
+	for _, e := range evs {
+		check(e)
+	}
+
+	// The final export must be valid JSON with the trace IDs surfaced.
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Args map[string]int64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	for _, ce := range out.TraceEvents {
+		if ce.Args["trace"] != ce.Args["a"] {
+			t.Fatalf("chrome args lost the trace correlation: %v", ce.Args)
+		}
+	}
+}
+
+// TestFlightRecorderRingAndDump covers the ring semantics, the NDJSON
+// exposition, and both dump paths (synchronous and triggered).
+func TestFlightRecorderRingAndDump(t *testing.T) {
+	dir := t.TempDir()
+	fr := NewFlightRecorder(4, dir)
+	defer fr.Close()
+
+	for i := 0; i < 6; i++ {
+		fr.Record(FlightEvent{Kind: FlightUpdate, Obj: uint64(i), Trace: uint64(100 + i)})
+	}
+	evs := fr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want ring size 4", len(evs))
+	}
+	if evs[0].Obj != 2 || evs[3].Obj != 5 {
+		t.Fatalf("ring order wrong: oldest obj=%d newest obj=%d", evs[0].Obj, evs[3].Obj)
+	}
+	if fr.Total() != 6 {
+		t.Fatalf("total = %d, want 6", fr.Total())
+	}
+	for _, e := range evs {
+		if e.TS == 0 {
+			t.Fatal("Record must stamp a zero TS")
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := fr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("NDJSON has %d lines, want 4", len(lines))
+	}
+	var ev FlightEvent
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("NDJSON line does not parse: %v", err)
+	}
+	if ev.Kind != FlightUpdate || ev.Trace != 102 {
+		t.Fatalf("decoded %+v, want update trace=102", ev)
+	}
+
+	// Synchronous dump: marker plus ring, parseable line by line.
+	path, err := fr.DumpFile("test-reason")
+	if err != nil {
+		t.Fatalf("DumpFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawMarker bool
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var e FlightEvent
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("dump line does not parse: %v (%q)", err, line)
+		}
+		if e.Kind == FlightDump && e.Note == "test-reason" {
+			sawMarker = true
+		}
+	}
+	if !sawMarker {
+		t.Fatal("dump file has no marker naming the trigger reason")
+	}
+	if got := fr.DumpPaths(); len(got) != 1 || got[0] != path {
+		t.Fatalf("DumpPaths = %v, want [%s]", got, path)
+	}
+
+	// Triggered dump goes through the background writer; rate limiting folds
+	// the second trigger into the first window.
+	fr.SetMinGap(time.Hour)
+	fr.TriggerDump("storm")
+	fr.TriggerDump("storm-again")
+	deadline := time.Now().Add(5 * time.Second)
+	for len(fr.DumpPaths()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("triggered dump never landed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := len(fr.DumpPaths()); n != 2 {
+		t.Fatalf("wrote %d dumps, want 2 (rate limit must drop the second trigger)", n)
+	}
+}
+
+// TestFlightRecorderNil pins nil-safety: a nil recorder discards everything.
+func TestFlightRecorderNil(t *testing.T) {
+	var fr *FlightRecorder
+	fr.Record(FlightEvent{Kind: FlightUpdate})
+	fr.TriggerDump("x")
+	fr.SetMinGap(time.Second)
+	fr.SetLogf(nil)
+	fr.Close()
+	if fr.Events() != nil || fr.Total() != 0 || fr.DumpPaths() != nil {
+		t.Fatal("nil recorder must read empty")
+	}
+	if _, err := fr.DumpFile("x"); err == nil {
+		t.Fatal("nil recorder DumpFile must error")
+	}
+}

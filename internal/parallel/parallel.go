@@ -96,15 +96,28 @@ func (p *Pipeline) Apply(batch []Update) []core.SafeRegionUpdate {
 //
 //srb:hotpath
 func (p *Pipeline) ApplyEach(batch []Update, emit func(i int, ups []core.SafeRegionUpdate)) {
+	p.ApplyEachCtx(batch, nil, emit)
+}
+
+// ApplyEachCtx is ApplyEach with a per-update context hook: before is invoked
+// (when non-nil) immediately before each update's serial application, in
+// application order, with the update's index in the input batch. Callers use
+// it to install per-update context on the monitor — e.g. the causal trace ID
+// of the client frame that carried the update — before the mutation that
+// context should tag. The parallel planning phase is read-only and emits no
+// events, so a serial-phase hook covers every attributed effect.
+//
+//srb:hotpath
+func (p *Pipeline) ApplyEachCtx(batch []Update, before func(i int), emit func(i int, ups []core.SafeRegionUpdate)) {
 	n := len(batch)
 	if n == 0 {
 		return
 	}
 	var t0 time.Time
-	var before Stats
+	var obsBefore Stats
 	if p.obs != nil {
 		t0 = time.Now() //lint:allow wallclock latency instrumentation, never in output
-		before = p.stats
+		obsBefore = p.stats
 	}
 	p.stats.Batches++
 	p.stats.Updates += int64(n)
@@ -170,6 +183,9 @@ func (p *Pipeline) ApplyEach(batch []Update, emit func(i int, ups []core.SafeReg
 	// Phase 2 — serial, in application order: fast-apply still-valid plans,
 	// fall back to the sequential path for the conflicting residue.
 	for _, i := range order {
+		if before != nil {
+			before(i)
+		}
 		if planned[i] {
 			p.stats.Planned++
 			if ups, ok := p.mon.ApplyPlanned(&plans[i]); ok {
@@ -182,6 +198,6 @@ func (p *Pipeline) ApplyEach(batch []Update, emit func(i int, ups []core.SafeReg
 		emit(i, p.mon.Update(batch[i].ID, batch[i].Loc))
 	}
 	if p.obs != nil {
-		p.obs.done(p, before, t0, planDone, time.Now()) //lint:allow wallclock latency instrumentation, never in output
+		p.obs.done(p, obsBefore, t0, planDone, time.Now()) //lint:allow wallclock latency instrumentation, never in output
 	}
 }

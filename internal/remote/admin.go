@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 
 	"srb/internal/core"
 	"srb/internal/parallel"
@@ -20,11 +21,16 @@ import (
 //	GET /metrics          Prometheus text exposition (404 until SetObs)
 //	GET /trace            Chrome trace-event JSON of recent decision events
 //	                      (load in chrome://tracing or https://ui.perfetto.dev)
+//	GET /queries          per-query cost ledger as JSON: hottest queries first
+//	                      (?k=N caps the list, default 20), plus the
+//	                      Unattributed and Retired buckets (404 until SetObs)
+//	GET /debug/flightrec  the flight recorder's ring as NDJSON (404 until
+//	                      SetFlightRecorder)
 //	GET /debug/pprof/...  the standard net/http/pprof profiling surface
 //
-// /stats, /snapshot and /svg serialize through the event loop, so they
-// observe consistent state; /metrics and /trace read lock-free snapshots and
-// never touch the loop.
+// /stats, /snapshot, /svg and /queries serialize through the event loop, so
+// they observe consistent state; /metrics, /trace and /debug/flightrec read
+// lock-free snapshots and never touch the loop.
 func (s *Server) AdminHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -76,6 +82,41 @@ func (s *Server) AdminHandler() http.Handler {
 		if err := viz.Render(w, snap, viz.Options{Space: s.opt.Space, ShowSafeRegions: true, ShowQuarantines: true}); err != nil {
 			s.logf("remote: render svg: %v", err)
 		}
+	})
+	mux.HandleFunc("/queries", func(w http.ResponseWriter, r *http.Request) {
+		k := 20
+		if v := r.URL.Query().Get("k"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				k = n
+			}
+		}
+		var payload struct {
+			Hot          []core.QueryCost `json:"hot"`
+			Unattributed core.QueryCost   `json:"unattributed"`
+			Retired      core.QueryCost   `json:"retired"`
+			RetiredN     int64            `json:"retired_queries"`
+		}
+		var enabled bool
+		if err := s.do(func() {
+			payload.Hot = s.mon.HotQueries(k)
+			payload.Unattributed = s.mon.UnattributedCost()
+			payload.Retired = s.mon.RetiredCost()
+			payload.RetiredN = s.mon.RetiredQueries()
+			enabled = s.mon.QueryCosts() != nil
+		}); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		if !enabled {
+			http.Error(w, "per-query ledger disabled (no observability sink attached)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(payload)
+	})
+	mux.HandleFunc("/debug/flightrec", func(w http.ResponseWriter, r *http.Request) {
+		// A nil recorder answers 404 itself.
+		s.flight.ServeHTTP(w, r)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		reg := s.sink.Registry()

@@ -52,12 +52,32 @@ type ClientOptions struct {
 // lock. Nil members are skipped.
 type ClientHooks struct {
 	// UpdateSent fires after a location-update frame was handed to the
-	// transport; err is the frame write error (nil on success).
-	UpdateSent func(err error)
-	// RegionGranted fires when a safe-region grant arrives from the server.
-	RegionGranted func()
+	// transport; trace is the causal trace ID minted for the frame and err
+	// the frame write error (nil on success).
+	UpdateSent func(trace uint64, err error)
+	// RegionGranted fires when a safe-region grant arrives from the server;
+	// trace echoes the causal ID of the update (or registration) whose
+	// processing produced the grant, 0 when untraced.
+	RegionGranted func(trace uint64)
 	// Probed fires after the session answered a server-initiated probe.
 	Probed func()
+}
+
+// mintTrace derives a nonzero 64-bit causal trace ID from the sender identity
+// and a per-sender sequence number (splitmix64 finalizer over their
+// combination): deterministic per session, no coordination, vanishing
+// collision odds across senders.
+func mintTrace(id, seq uint64) uint64 {
+	x := id*0x9e3779b97f4a7c15 + seq
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
 }
 
 func (o ClientOptions) withDefaults(id uint64) ClientOptions {
@@ -95,6 +115,7 @@ type MobileClient struct {
 	updates    int64
 	probes     int64
 	reconnects int64
+	traceSeq   uint64 // per-session sequence feeding mintTrace
 	closed     bool
 	readErr    error
 	readDone   chan struct{}
@@ -123,7 +144,8 @@ func DialClientOpts(addr string, id uint64, start geom.Point, opts ClientOptions
 		pos:      start,
 		readDone: make(chan struct{}),
 	}
-	hello := wire.Message{Type: wire.THello, Obj: id}
+	c.traceSeq++
+	hello := wire.Message{Type: wire.THello, Obj: id, Trace: mintTrace(id, c.traceSeq)}
 	hello.SetPoint(start)
 	if err := c.send(hello); err != nil {
 		_ = conn.Close()
@@ -172,7 +194,7 @@ func (c *MobileClient) readLoop() {
 			outside := !c.region.Contains(pos)
 			c.mu.Unlock()
 			if f := c.opts.Hooks.RegionGranted; f != nil {
-				f()
+				f(m.Trace)
 			}
 			if outside {
 				// Already escaped the granted region (delays): report now.
@@ -225,6 +247,8 @@ func (c *MobileClient) reconnect() bool {
 		// resume, and until then every Tick must report.
 		c.hasRgn = false
 		pos := c.pos
+		c.traceSeq++
+		tr := mintTrace(c.id, c.traceSeq)
 		c.mu.Unlock()
 
 		if attempt > 0 {
@@ -242,7 +266,7 @@ func (c *MobileClient) reconnect() bool {
 			continue
 		}
 		codec := wire.NewCodec(conn)
-		hello := wire.Message{Type: wire.THello, Obj: c.id, Resume: true}
+		hello := wire.Message{Type: wire.THello, Obj: c.id, Resume: true, Trace: tr}
 		hello.SetPoint(pos)
 		if err := codec.Send(hello); err != nil {
 			_ = conn.Close()
@@ -264,13 +288,15 @@ func (c *MobileClient) reconnect() bool {
 }
 
 func (c *MobileClient) report(p geom.Point) {
-	m := wire.Message{Type: wire.TUpdate, Obj: c.id}
-	m.SetPoint(p)
 	c.mu.Lock()
 	c.updates++
+	c.traceSeq++
+	tr := mintTrace(c.id, c.traceSeq)
 	c.mu.Unlock()
+	m := wire.Message{Type: wire.TUpdate, Obj: c.id, Trace: tr}
+	m.SetPoint(p)
 	if f := c.opts.Hooks.UpdateSent; f != nil {
-		f(c.send(m))
+		f(tr, c.send(m))
 		return
 	}
 	_ = c.send(m)
@@ -403,6 +429,7 @@ type AppClient struct {
 	mu          sync.Mutex
 	conn        net.Conn
 	codec       *wire.Codec
+	traceSeq    uint64 // per-handle sequence feeding mintTrace
 	pending     map[uint64]chan wire.Message
 	specs       map[uint64]wire.Message // registration frames, for re-register on reconnect
 	updates     chan ResultUpdate
@@ -695,8 +722,11 @@ func (a *AppClient) failPending() {
 }
 
 // request runs the round trip and, on success, records the registration
-// frame so a reconnect can replay it.
+// frame so a reconnect can replay it. Each registration is one causal
+// operation: the minted trace ID survives retries and reconnect replays, so
+// the server-side fan-out of a re-sent frame still correlates.
 func (a *AppClient) request(m wire.Message) (wire.Message, error) {
+	m.Trace = a.mintAppTrace()
 	reply, err := a.roundTrip(m)
 	if err == nil {
 		a.mu.Lock()
@@ -742,12 +772,23 @@ func (a *AppClient) RegisterKNN(id query.ID, pt geom.Point, k int, ordered bool)
 	return reply.IDs, err
 }
 
+// mintAppTrace derives the next causal trace ID for a frame sent by this
+// handle, keyed by the jitter seed so concurrent handles mint from different
+// streams.
+func (a *AppClient) mintAppTrace() uint64 {
+	a.mu.Lock()
+	a.traceSeq++
+	tr := mintTrace(0xa99c1e27^uint64(a.opts.Seed), a.traceSeq)
+	a.mu.Unlock()
+	return tr
+}
+
 // Deregister removes a query.
 func (a *AppClient) Deregister(id query.ID) error {
 	a.mu.Lock()
 	delete(a.specs, uint64(id))
 	a.mu.Unlock()
-	return a.codecSend(wire.Message{Type: wire.TDeregister, QID: uint64(id)})
+	return a.codecSend(wire.Message{Type: wire.TDeregister, QID: uint64(id), Trace: a.mintAppTrace()})
 }
 
 // Reconnects returns how many times the handle re-dialed and re-registered

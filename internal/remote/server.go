@@ -8,6 +8,7 @@ package remote
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sort"
@@ -31,6 +32,14 @@ const probeTimeout = 2 * time.Second
 // that connects and sends nothing cannot pin a handler goroutine forever.
 const helloTimeout = 30 * time.Second
 
+// Reconnect-storm detection: this many resume hellos inside the window
+// trigger a flight-recorder dump (rate-limited by the recorder itself), so
+// the evidence of what caused a mass reconnect survives the storm.
+const (
+	reconnectStormCount  = 8
+	reconnectStormWindow = 10 * time.Second
+)
+
 // Server hosts a Monitor on a TCP listener. All monitor operations run on a
 // single event-loop goroutine, matching the framework's sequential
 // processing assumption.
@@ -45,6 +54,9 @@ type Server struct {
 	sink *obs.Sink // attached observability, nil when off
 	obs  *srvObs
 
+	flight    *obs.FlightRecorder // black-box ring, nil when off
+	sloThresh time.Duration       // event-loop SLO; breaches trigger a flight dump
+
 	inj     *chaos.Injector // fault injection on accepted conns, nil when off
 	lease   time.Duration   // how long a disconnected session survives; 0 = none
 	probeTO time.Duration   // per-probe reply deadline, default probeTimeout
@@ -54,6 +66,14 @@ type Server struct {
 	watch   map[query.ID]*appConn
 	leases  map[uint64]*time.Timer // pending lease expiries by object
 	persist *persistState          // crash-recovery journal, nil when off
+
+	// curTrace is the causal trace ID of the wire frame whose consequences the
+	// event loop is currently applying; probe frames and result pushes issued
+	// from inside the operation echo it. Event-loop owned.
+	curTrace uint64
+	// recentRec holds the timestamps of recent resume hellos for
+	// reconnect-storm detection. Event-loop owned.
+	recentRec []time.Time
 
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -75,6 +95,7 @@ type request struct {
 	fn func()      // non-update operation; nil for updates
 	c  *clientConn // update: the reporting connection
 	p  geom.Point  // update: the reported location
+	tr uint64      // update: causal trace ID carried by the wire frame
 }
 
 type clientConn struct {
@@ -163,6 +184,42 @@ func (s *Server) SetChaos(inj *chaos.Injector) {
 	}
 }
 
+// SetFlightRecorder attaches a black-box flight recorder: the server records
+// every wire-causal event (updates, grants, probes, registrations, resumes)
+// into its bounded ring, the monitor adds slow-op markers, and dumps trigger
+// automatically on an event-loop SLO breach (SetSLO) or a reconnect storm.
+// Works with or without an observability sink. Must be called before Serve;
+// nil detaches. The caller owns the recorder's lifecycle (Close, SIGQUIT
+// dumps).
+func (s *Server) SetFlightRecorder(fr *obs.FlightRecorder) {
+	s.flight = fr
+	s.mon.SetFlightRecorder(fr)
+}
+
+// SetSLO sets the event-loop latency objective: a request (update batch or
+// other operation) taking d or longer triggers a flight-recorder dump with
+// reason "slo-breach" (rate-limited by the recorder). 0 disables. Must be
+// called before Serve; effective only with a flight recorder attached.
+func (s *Server) SetSLO(d time.Duration) { s.sloThresh = d }
+
+// SetSlowOpLog configures the monitor's structured slow-operation NDJSON log
+// (core.Monitor.SetSlowOpLog): monitor operations taking threshold or longer
+// are appended to w with their op kind, duration, causal trace ID, work
+// deltas, and the chain of queries touched. Requires an observability sink
+// (operation timing exists only then). Must be called before Serve.
+func (s *Server) SetSlowOpLog(threshold time.Duration, w io.Writer) {
+	s.mon.SetSlowOpLog(threshold, w)
+}
+
+// setTrace installs tr as the causal trace of the operation about to run:
+// the monitor tags its spans, instants, and slow-op records with it, and the
+// server echoes it on probe frames and result pushes issued from inside the
+// operation. Runs on the event loop.
+func (s *Server) setTrace(tr uint64) {
+	s.curTrace = tr
+	s.mon.SetOpTrace(tr)
+}
+
 // SetProbeTimeout overrides how long a server-initiated probe waits for the
 // client's reply before falling back to the last reported location (default
 // 2s). Probes run on the event loop, so on a lossy link a shorter timeout
@@ -230,17 +287,20 @@ func (s *Server) loop() {
 // becomes one pipeline batch; draining stops at the first non-update request
 // to preserve FIFO order with respect to registrations and disconnects.
 func (s *Server) dispatch(r request) {
+	timed := s.obs != nil || (s.flight != nil && s.sloThresh > 0)
 	var t0 time.Time
-	if s.obs != nil {
+	if timed {
 		t0 = time.Now()
 	}
 	if r.fn != nil {
 		r.fn()
 		s.noteOp(t0)
+		s.checkSLO(t0, "op")
 		return
 	}
 	conns := []*clientConn{r.c}
 	pts := []geom.Point{r.p}
+	trs := []uint64{r.tr}
 	var after *request
 drain:
 	for {
@@ -252,19 +312,36 @@ drain:
 			}
 			conns = append(conns, nx.c)
 			pts = append(pts, nx.p)
+			trs = append(trs, nx.tr)
 		default:
 			break drain
 		}
 	}
-	s.applyUpdates(conns, pts)
+	s.applyUpdates(conns, pts, trs)
 	s.noteBatch(t0, len(conns))
+	s.checkSLO(t0, "update-batch")
 	if after != nil {
 		var ta time.Time
-		if s.obs != nil {
+		if timed {
 			ta = time.Now()
 		}
 		after.fn()
 		s.noteOp(ta)
+		s.checkSLO(ta, "op")
+	}
+}
+
+// checkSLO triggers a flight-recorder dump when an event-loop request blew the
+// latency objective; the breach itself is recorded so the dump carries it.
+func (s *Server) checkSLO(t0 time.Time, kind string) {
+	if s.flight == nil || s.sloThresh <= 0 {
+		return
+	}
+	if dur := time.Since(t0); dur >= s.sloThresh {
+		s.flight.Record(obs.FlightEvent{
+			Kind: obs.FlightSlowOp, DurNS: dur.Nanoseconds(), Note: "event-loop " + kind,
+		})
+		s.flight.TriggerDump("slo-breach")
 	}
 }
 
@@ -272,12 +349,13 @@ drain:
 // parallel pipeline when enabled (and worthwhile), else sequentially, and
 // routes each update's safe-region refreshes back through dispatchRegions
 // with the reporting object as primary.
-func (s *Server) applyUpdates(conns []*clientConn, pts []geom.Point) {
+func (s *Server) applyUpdates(conns []*clientConn, pts []geom.Point, trs []uint64) {
 	// lastPos is only the probe-timeout fallback; every batched report has
 	// been received by now, so expose all of them before the monitor runs
 	// (and possibly probes) any update of the batch.
 	for i, c := range conns {
 		c.lastPos = pts[i]
+		s.flight.Record(obs.FlightEvent{Kind: obs.FlightUpdate, Trace: trs[i], Obj: c.obj})
 	}
 	if s.pipe != nil && len(conns) > 1 {
 		// One journal entry for the whole coalesced batch, in arrival order;
@@ -294,23 +372,31 @@ func (s *Server) applyUpdates(conns []*clientConn, pts []geom.Point) {
 		for i, c := range conns {
 			batch[i] = parallel.Update{ID: c.obj, Loc: pts[i]}
 		}
-		s.pipe.ApplyEach(batch, func(i int, ups []core.SafeRegionUpdate) {
-			s.dispatchRegions(conns[i].obj, ups)
-		})
+		// The serial apply phase installs each update's trace just before its
+		// effects run, so probes, grants, and slow-op records inside carry the
+		// causing frame's ID even though planning ran for the whole batch.
+		s.pipe.ApplyEachCtx(batch,
+			func(i int) { s.setTrace(trs[i]) },
+			func(i int, ups []core.SafeRegionUpdate) {
+				s.dispatchRegions(conns[i].obj, ups, trs[i])
+			})
+		s.setTrace(0)
 		s.jCommit()
 	} else {
 		// Sequential path applies in arrival order, so journal one entry per
 		// update to preserve that order on replay.
 		for i, c := range conns {
+			s.setTrace(trs[i])
 			s.jBegin(core.JournalEntry{Op: core.JournalUpdate, Obj: c.obj, X: pts[i].X, Y: pts[i].Y})
 			ups := s.mon.Update(c.obj, pts[i])
 			s.jCommit()
-			s.dispatchRegions(c.obj, ups)
+			s.dispatchRegions(c.obj, ups, trs[i])
 		}
+		s.setTrace(0)
 	}
-	for _, c := range conns {
+	for i, c := range conns {
 		if c.needRegion {
-			s.pushRegion(c)
+			s.pushRegion(c, trs[i])
 		}
 	}
 }
@@ -356,7 +442,8 @@ func (s *Server) probeLive(id uint64) geom.Point {
 	}
 	c.seq++
 	seq := c.seq
-	if err := c.codec.Send(wire.Message{Type: wire.TProbe, Seq: seq}); err != nil {
+	s.flight.Record(obs.FlightEvent{Kind: obs.FlightProbe, Trace: s.curTrace, Obj: id})
+	if err := c.codec.Send(wire.Message{Type: wire.TProbe, Seq: seq, Trace: s.curTrace}); err != nil {
 		return c.lastPos
 	}
 	to := s.probeTO
@@ -385,7 +472,7 @@ func (s *Server) probeLive(id uint64) geom.Point {
 // query. Runs on the event loop.
 func (s *Server) onResults(u core.ResultUpdate) {
 	if a := s.watch[u.Query]; a != nil {
-		if err := a.send(wire.Message{Type: wire.TResults, QID: uint64(u.Query), IDs: u.Results, Count: u.Count}); err != nil {
+		if err := a.send(wire.Message{Type: wire.TResults, QID: uint64(u.Query), IDs: u.Results, Count: u.Count, Trace: s.curTrace}); err != nil {
 			s.logf("remote: push results to app: %v", err)
 		}
 	}
@@ -417,7 +504,7 @@ func (s *Server) handle(conn net.Conn) {
 		// surviving frame is a location report. Reconstruct the hello from it —
 		// updates carry the object ID and position — so the session attaches
 		// instead of being misrouted as an application connection.
-		hello := wire.Message{Type: wire.THello, Obj: first.Obj, Resume: true}
+		hello := wire.Message{Type: wire.THello, Obj: first.Obj, Resume: true, Trace: first.Trace}
 		hello.SetPoint(first.Point())
 		s.serveClient(conn, codec, hello)
 		return
@@ -461,7 +548,7 @@ func (s *Server) serveClient(conn net.Conn, codec *wire.Codec, hello wire.Messag
 		}
 		switch m.Type { //lint:allow protodrift THello is consumed by the accept handshake before this session loop starts
 		case wire.TUpdate:
-			if err := enqueue(request{c: c, p: m.Point()}); err != nil {
+			if err := enqueue(request{c: c, p: m.Point(), tr: m.Trace}); err != nil {
 				return
 			}
 		case wire.TProbeReply:
@@ -511,20 +598,48 @@ func (s *Server) attachClient(c *clientConn, hello wire.Message) {
 		// an ordinary update, then re-push the current region so the client
 		// never monitors with a stale one.
 		s.noteReconnect(true)
+		s.noteReconnectFlight(c.obj, hello.Trace, "resumed")
+		s.setTrace(hello.Trace)
 		s.jBegin(core.JournalEntry{Op: core.JournalUpdate, Obj: c.obj, X: p.X, Y: p.Y})
 		ups := s.mon.Update(c.obj, p)
 		s.jCommit()
-		s.dispatchRegions(c.obj, ups)
-		s.pushRegion(c)
+		s.dispatchRegions(c.obj, ups, hello.Trace)
+		s.pushRegion(c, hello.Trace)
+		s.setTrace(0)
 		return
 	}
 	if hello.Resume {
 		s.noteReconnect(false) // lease expired while away; re-add from scratch
+		s.noteReconnectFlight(c.obj, hello.Trace, "rejoined")
 	}
+	s.setTrace(hello.Trace)
 	s.jBegin(core.JournalEntry{Op: core.JournalAdd, Obj: c.obj, X: p.X, Y: p.Y})
 	ups := s.mon.AddObject(c.obj, p)
 	s.jCommit()
-	s.dispatchRegions(c.obj, ups)
+	s.dispatchRegions(c.obj, ups, hello.Trace)
+	s.setTrace(0)
+}
+
+// noteReconnectFlight records a resume hello in the flight recorder and runs
+// reconnect-storm detection: enough resumes inside the window dump the ring,
+// preserving the evidence of whatever severed the sessions. Runs on the event
+// loop.
+func (s *Server) noteReconnectFlight(obj, tr uint64, outcome string) {
+	if s.flight == nil {
+		return
+	}
+	s.flight.Record(obs.FlightEvent{Kind: obs.FlightReconnect, Trace: tr, Obj: obj, Note: outcome})
+	now := time.Now() //lint:allow wallclock reconnect-storm detection is wall-clock by design
+	keep := s.recentRec[:0]
+	for _, t := range s.recentRec {
+		if now.Sub(t) < reconnectStormWindow {
+			keep = append(keep, t)
+		}
+	}
+	s.recentRec = append(keep, now)
+	if len(s.recentRec) >= reconnectStormCount {
+		s.flight.TriggerDump("reconnect-storm")
+	}
 }
 
 // detachClient handles a session ending. With a lease configured the object
@@ -578,18 +693,19 @@ func (s *Server) expireLease(id uint64) {
 
 // pushRegion sends the object's current safe region to its session,
 // clearing the re-push mark on success. Runs on the event loop.
-func (s *Server) pushRegion(c *clientConn) {
+func (s *Server) pushRegion(c *clientConn, tr uint64) {
 	r, ok := s.mon.SafeRegion(c.obj)
 	if !ok {
 		return
 	}
-	m := wire.Message{Type: wire.TRegion, Obj: c.obj}
+	m := wire.Message{Type: wire.TRegion, Obj: c.obj, Trace: tr}
 	m.SetRect(r)
 	if err := c.codec.Send(m); err != nil {
 		c.needRegion = true
 		return
 	}
 	c.needRegion = false
+	s.flight.Record(obs.FlightEvent{Kind: obs.FlightGrant, Trace: tr, Obj: c.obj, Note: "repush"})
 	s.noteRepush()
 }
 
@@ -610,14 +726,14 @@ func (s *Server) ResyncRegions() error {
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		for _, id := range ids {
-			s.pushRegion(s.clients[id])
+			s.pushRegion(s.clients[id], 0)
 		}
 	})
 }
 
 // dispatchRegions delivers refreshed safe regions to their clients. Runs on
 // the event loop.
-func (s *Server) dispatchRegions(primary uint64, ups []core.SafeRegionUpdate) {
+func (s *Server) dispatchRegions(primary uint64, ups []core.SafeRegionUpdate, tr uint64) {
 	for _, u := range ups {
 		c := s.clients[u.Object]
 		if c == nil {
@@ -627,6 +743,7 @@ func (s *Server) dispatchRegions(primary uint64, ups []core.SafeRegionUpdate) {
 		m.Type = wire.TRegion
 		m.Obj = u.Object
 		m.SetRect(u.Region)
+		m.Trace = tr
 		if err := c.codec.Send(m); err != nil {
 			// The session must not be left monitoring with a stale region:
 			// mark it so the current region is re-sent at the next chance
@@ -639,6 +756,7 @@ func (s *Server) dispatchRegions(primary uint64, ups []core.SafeRegionUpdate) {
 			continue
 		}
 		c.needRegion = false
+		s.flight.Record(obs.FlightEvent{Kind: obs.FlightGrant, Trace: tr, Obj: u.Object})
 	}
 }
 
@@ -683,6 +801,8 @@ func (s *Server) serveApp(conn net.Conn, codec *wire.Codec, first wire.Message) 
 					delete(s.watch, qid)
 				}
 				var ups []core.SafeRegionUpdate
+				s.setTrace(req.Trace)
+				s.flight.Record(obs.FlightEvent{Kind: obs.FlightRegister, Trace: req.Trace, Query: req.QID, Note: req.Type})
 				s.jBegin(registrationEntry(req))
 				switch req.Type { //lint:allow protodrift TDeregister is routed by the enclosing frame switch before this point
 				case wire.TRegisterRange:
@@ -701,28 +821,33 @@ func (s *Server) serveApp(conn net.Conn, codec *wire.Codec, first wire.Message) 
 					s.jCommit()
 					s.watch[qid] = a
 					owned = append(owned, qid)
-					s.dispatchRegions(0, ups)
+					s.dispatchRegions(0, ups, req.Trace)
 				} else {
 					s.jAbort() // rejected registration left the monitor untouched
 				}
+				s.setTrace(0)
 			})
 			if err != nil {
 				return
 			}
-			reply := wire.Message{Type: wire.TResults, QID: m.QID, IDs: results, Count: count}
+			reply := wire.Message{Type: wire.TResults, QID: m.QID, IDs: results, Count: count, Trace: m.Trace}
 			if regErr != nil {
-				reply = wire.Message{Type: wire.TError, QID: m.QID, Err: regErr.Error()}
+				reply = wire.Message{Type: wire.TError, QID: m.QID, Err: regErr.Error(), Trace: m.Trace}
 			}
 			if err := a.send(reply); err != nil {
 				return
 			}
 		case wire.TDeregister:
 			qid := query.ID(m.QID)
+			tr := m.Trace
 			if err := s.do(func() {
+				s.setTrace(tr)
+				s.flight.Record(obs.FlightEvent{Kind: obs.FlightRegister, Trace: tr, Query: uint64(qid), Note: wire.TDeregister})
 				s.jBegin(core.JournalEntry{Op: core.JournalDeregister, QID: uint64(qid)})
 				s.mon.Deregister(qid)
 				s.jCommit()
 				delete(s.watch, qid)
+				s.setTrace(0)
 			}); err != nil {
 				return
 			}

@@ -72,6 +72,14 @@ type Message struct {
 	Seq uint64 `json:"seq,omitempty"`
 	Err string `json:"err,omitempty"`
 
+	// Trace is an optional causal trace ID minted by the sender of a
+	// causing frame (a client update/hello, an application-server
+	// registration) and echoed on every frame the server sends as a
+	// consequence — probes, safe-region grants, result pushes — so one
+	// client update's full fan-out can be stitched back together across
+	// processes. Zero means untraced.
+	Trace uint64 `json:"tr,omitempty"`
+
 	// Resume marks a THello as a session resumption after a connection loss:
 	// the server reattaches the existing object state (kept alive by its
 	// session lease), treats the hello position as a location update, and
