@@ -3,6 +3,7 @@ package core
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 	"time"
 
 	"srb/internal/geom"
@@ -14,9 +15,10 @@ import (
 
 type pqItem struct {
 	key   float64
-	seq   uint64 // tie-breaker: FIFO among equal keys, keeps runs deterministic
+	seq   uint64 // last-resort tie-breaker: FIFO among otherwise-equal entries
 	node  *rtree.Node
 	id    uint64
+	shard int // owning ObjIndex shard of node/id (0 for a single tree)
 	isObj bool
 	exact bool
 	pt    geom.Point // valid when exact
@@ -28,12 +30,28 @@ type evalPQ struct {
 }
 
 func (p *evalPQ) Len() int { return len(p.items) }
+
+// Less orders the frontier canonically: key ascending; at equal key, nodes
+// expand before objects, and objects tie-break by ID. This makes the object
+// pop sequence a pure function of the indexed regions, independent of tree
+// shape: when an object pops, no node with key ≤ its key remains, so any
+// unpopped object with a smaller (key, ID) would still be covered by such a
+// node — contradiction. A sharded forest and a single tree therefore pop
+// objects (and thus hold, probe, and append results) in exactly the same
+// order. See ARCHITECTURE.md "Determinism guarantees".
 func (p *evalPQ) Less(i, j int) bool {
-	//lint:allow floatcmp comparator tie-break: exact inequality guards the seq fallback
-	if p.items[i].key != p.items[j].key {
-		return p.items[i].key < p.items[j].key
+	a, b := &p.items[i], &p.items[j]
+	//lint:allow floatcmp comparator tie-break: exact inequality guards the canonical fallback
+	if a.key != b.key {
+		return a.key < b.key
 	}
-	return p.items[i].seq < p.items[j].seq
+	if a.isObj != b.isObj {
+		return !a.isObj
+	}
+	if a.isObj && a.id != b.id {
+		return a.id < b.id
+	}
+	return a.seq < b.seq
 }
 func (p *evalPQ) Swap(i, j int)      { p.items[i], p.items[j] = p.items[j], p.items[i] }
 func (p *evalPQ) Push(x interface{}) { p.items = append(p.items, x.(pqItem)) }
@@ -53,11 +71,70 @@ func (p *evalPQ) push(it pqItem) {
 
 func (p *evalPQ) pop() pqItem { return heap.Pop(p).(pqItem) }
 
-func (p *evalPQ) peekKey() (float64, bool) {
-	if len(p.items) == 0 {
-		return 0, false
+// newExpander returns the node-expansion closure for one best-first search:
+// it expands an index node through ObjIndex.Visit, pushing children and
+// non-excluded leaf objects onto pq with keys relative to qp. One closure is
+// allocated per search and reused for every expansion.
+func (m *Monitor) newExpander(pq *evalPQ, qp geom.Point, exclude map[uint64]bool) func(pqItem) {
+	var cur pqItem
+	visit := func(child *rtree.Node, childRect geom.Rect, it rtree.Item, isItem bool) {
+		if isItem {
+			if exclude[it.ID] {
+				return
+			}
+			if _, probed := m.probedNow[it.ID]; probed {
+				return // seeded exactly by seedSearch; the indexed rect is stale
+			}
+			lo, _ := m.bounds(qp, it.ID)
+			pq.push(pqItem{key: lo, id: it.ID, isObj: true, shard: cur.shard})
+		} else {
+			pq.push(pqItem{key: childRect.MinDist(qp), node: child, shard: cur.shard})
+		}
 	}
-	return p.items[0].key, true
+	return func(u pqItem) {
+		cur = u
+		m.index.Visit(u.shard, u.node, visit)
+	}
+}
+
+// seedSearch primes a best-first frontier: one zero-key entry per index root,
+// plus every object already probed in this operation as an exact point item.
+// Probed objects must bypass tree discovery entirely: their authoritative
+// representation is the probe point, but their indexed rect is still the
+// pre-probe safe region (the index is only refreshed when the op finishes),
+// so a covering node's MinDist no longer lower-bounds their distance. Left in
+// the tree, their discovery time — and with it the canonical pop order —
+// would depend on how the index groups objects, breaking the sharded/single
+// equivalence. Seeded up front with exact keys, the remaining tree search is
+// admissible for every object it can still discover.
+func (m *Monitor) seedSearch(pq *evalPQ, qp geom.Point, exclude map[uint64]bool) {
+	m.index.Seeds(func(shard int, root *rtree.Node) {
+		pq.push(pqItem{key: 0, node: root, shard: shard})
+	})
+	for _, pid := range m.sortedProbedIDs() {
+		if exclude[pid] {
+			continue
+		}
+		p := m.probedNow[pid]
+		pq.push(pqItem{key: qp.Dist(p), id: pid, isObj: true, exact: true, pt: p})
+	}
+}
+
+// frontierObjectKey expands queued nodes until the queue front is an object
+// and returns that object's key — the minimum δ over every object still in
+// the frontier, which is a structure-independent quantity (a node's MinDist
+// is not: it depends on how the index groups objects). Both kNN variants use
+// it for the next-element bound behind the quarantine radius, and the
+// order-insensitive variant for its displacement test. Returns false when no
+// objects remain.
+func (m *Monitor) frontierObjectKey(pq *evalPQ, expand func(pqItem)) (float64, bool) {
+	for pq.Len() > 0 {
+		if pq.items[0].isObj {
+			return pq.items[0].key, true
+		}
+		expand(pq.pop())
+	}
+	return 0, false
 }
 
 // --- query registration -------------------------------------------------------
@@ -158,35 +235,34 @@ func (m *Monitor) RegisterWithinDistance(id query.ID, center geom.Point, radius 
 func (m *Monitor) evalCircle(q *query.Query) []uint64 {
 	c := q.Circle()
 	var results []uint64
-	m.tree.Search(c.BBox(), func(it rtree.Item) bool {
+	for _, it := range m.rangeCandidates(c.BBox()) {
 		r := m.repr(it.ID)
 		lo, hi := r.MinDist(q.Point), r.MaxDist(q.Point)
 		if lo > c.R {
-			return true
+			continue
 		}
 		if hi <= c.R {
 			results = append(results, it.ID)
-			return true
+			continue
 		}
 		if m.virtualProbe(it.ID) {
 			r = m.repr(it.ID)
 			lo, hi = r.MinDist(q.Point), r.MaxDist(q.Point)
 			if lo > c.R {
 				m.noteProbeAvoided(it.ID)
-				return true
+				continue
 			}
 			if hi <= c.R {
 				m.noteProbeAvoided(it.ID)
 				results = append(results, it.ID)
-				return true
+				continue
 			}
 		}
 		p := m.probe(it.ID)
 		if q.Point.Dist(p) <= c.R {
 			results = append(results, it.ID)
 		}
-		return true
-	})
+	}
 	return results
 }
 
@@ -258,7 +334,7 @@ func (m *Monitor) refreshProbedAgainst(q *query.Query) []SafeRegionUpdate {
 		cell := m.grid.NeighborhoodRect(loc, m.opt.CellNeighborhood)
 		srQ := m.safeRegionForQuery(q, st, cell)
 		st.safe = clampSafe(st.safe.Intersect(srQ), loc)
-		m.tree.Update(pid, st.safe)
+		m.index.Update(pid, st.safe)
 		out = append(out, SafeRegionUpdate{Object: pid, Region: st.safe, Probed: true})
 	}
 	out = append(out, m.flushShrunk(nil)...)
@@ -274,14 +350,14 @@ func (m *Monitor) refreshProbedAgainst(q *query.Query) []SafeRegionUpdate {
 // skipping probes the reachability circle can resolve.
 func (m *Monitor) evalRange(q *query.Query) []uint64 {
 	var results []uint64
-	m.tree.Search(q.Rect, func(it rtree.Item) bool {
+	for _, it := range m.rangeCandidates(q.Rect) {
 		r := m.repr(it.ID)
 		if !r.Intersects(q.Rect) {
-			return true // representation tightened since indexing
+			continue // representation tightened since indexing
 		}
 		if q.Rect.ContainsRect(r) {
 			results = append(results, it.ID)
-			return true
+			continue
 		}
 		// Try a reachability-circle virtual probe before a real one
 		// (Section 6.1): the durably shrunken region may already decide
@@ -291,20 +367,30 @@ func (m *Monitor) evalRange(q *query.Query) []uint64 {
 			if q.Rect.ContainsRect(r) {
 				m.noteProbeAvoided(it.ID)
 				results = append(results, it.ID)
-				return true
+				continue
 			}
 			if !r.Intersects(q.Rect) {
 				m.noteProbeAvoided(it.ID)
-				return true
+				continue
 			}
 		}
 		p := m.probe(it.ID)
 		if q.Rect.Contains(p) {
 			results = append(results, it.ID)
 		}
-		return true
-	})
+	}
 	return results
+}
+
+// rangeCandidates collects the indexed items intersecting r and sorts them
+// by ascending object ID. The canonical order makes probe sequences, result
+// lists, and journal entries independent of index structure — a single tree
+// visits in R*-tree order, a sharded forest gathers shard by shard, and both
+// collapse to the same sequence here.
+func (m *Monitor) rangeCandidates(r geom.Rect) []rtree.Item {
+	items := m.index.Collect(r, nil)
+	sort.Slice(items, func(i, j int) bool { return items[i].ID < items[j].ID })
+	return items
 }
 
 // --- kNN evaluation (Section 4.2, Algorithm 2) ---------------------------------
@@ -357,9 +443,8 @@ func (m *Monitor) quarantineRadius(maxK, nextMin float64) float64 {
 // when the queue ran dry).
 func (m *Monitor) knnOrderSensitive(qp geom.Point, k int, exclude map[uint64]bool) ([]uint64, float64, float64) {
 	pq := &evalPQ{}
-	if m.tree.Len() > 0 {
-		pq.push(pqItem{key: 0, node: m.tree.Root()})
-	}
+	expand := m.newExpander(pq, qp, exclude)
+	m.seedSearch(pq, qp, exclude)
 	var results []uint64
 	var lastMax float64 // Δ bound of the last appended result
 	var held *pqItem
@@ -380,19 +465,7 @@ func (m *Monitor) knnOrderSensitive(qp geom.Point, k int, exclude map[uint64]boo
 		}
 		u := pq.pop()
 		if !u.isObj {
-			for i := 0; i < u.node.Count(); i++ {
-				if u.node.IsLeaf() {
-					it := u.node.ItemAt(i)
-					if exclude[it.ID] {
-						continue
-					}
-					lo, _ := m.bounds(qp, it.ID)
-					pq.push(pqItem{key: lo, id: it.ID, isObj: true})
-				} else {
-					child := u.node.ChildAt(i)
-					pq.push(pqItem{key: u.node.RectAt(i).MinDist(qp), node: child})
-				}
-			}
+			expand(u)
 			continue
 		}
 		if held != nil {
@@ -445,8 +518,8 @@ func (m *Monitor) knnOrderSensitive(qp geom.Point, k int, exclude map[uint64]boo
 		appendResult(*held)
 	}
 	nextMin := noNextElement
-	if pq.Len() > 0 {
-		nextMin = pq.pop().key
+	if fk, ok := m.frontierObjectKey(pq, expand); ok {
+		nextMin = fk
 	}
 	return results, lastMax, nextMin
 }
@@ -457,9 +530,8 @@ func (m *Monitor) knnOrderSensitive(qp geom.Point, k int, exclude map[uint64]boo
 // variant, which needs fewer probes).
 func (m *Monitor) knnOrderInsensitive(qp geom.Point, k int, exclude map[uint64]bool) ([]uint64, float64, float64) {
 	pq := &evalPQ{}
-	if m.tree.Len() > 0 {
-		pq.push(pqItem{key: 0, node: m.tree.Root()})
-	}
+	expand := m.newExpander(pq, qp, exclude)
+	m.seedSearch(pq, qp, exclude)
 	var held []pqItem
 
 	worstHeld := func() (int, float64) {
@@ -474,7 +546,11 @@ func (m *Monitor) knnOrderInsensitive(qp geom.Point, k int, exclude map[uint64]b
 
 	for {
 		if len(held) == k {
-			topKey, ok := pq.peekKey()
+			// Expand nodes until the queue front is an object: the break test
+			// must compare against an object's δ, not a node's MinDist, or
+			// the decision would depend on tree shape (a forest's shallow
+			// trees surface objects earlier than one deep tree).
+			topKey, ok := m.frontierObjectKey(pq, expand)
 			wi, wv := worstHeld()
 			if !ok || wv <= topKey {
 				break // all held are certainly among the k nearest
@@ -503,18 +579,7 @@ func (m *Monitor) knnOrderInsensitive(qp geom.Point, k int, exclude map[uint64]b
 		}
 		u := pq.pop()
 		if !u.isObj {
-			for i := 0; i < u.node.Count(); i++ {
-				if u.node.IsLeaf() {
-					it := u.node.ItemAt(i)
-					if exclude[it.ID] {
-						continue
-					}
-					lo, _ := m.bounds(qp, it.ID)
-					pq.push(pqItem{key: lo, id: it.ID, isObj: true})
-				} else {
-					pq.push(pqItem{key: u.node.RectAt(i).MinDist(qp), node: u.node.ChildAt(i)})
-				}
-			}
+			expand(u)
 			continue
 		}
 		held = append(held, u)
@@ -529,8 +594,8 @@ func (m *Monitor) knnOrderInsensitive(qp geom.Point, k int, exclude map[uint64]b
 		}
 	}
 	nextMin := noNextElement
-	if pq.Len() > 0 {
-		nextMin = pq.pop().key
+	if fk, ok := m.frontierObjectKey(pq, expand); ok {
+		nextMin = fk
 	}
 	return ids, maxK, nextMin
 }

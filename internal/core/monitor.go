@@ -22,7 +22,6 @@ import (
 	"srb/internal/gridindex"
 	"srb/internal/obs"
 	"srb/internal/query"
-	"srb/internal/rtree"
 )
 
 // Prober supplies the exact current location of an object on a
@@ -88,6 +87,13 @@ type Options struct {
 	CellNeighborhood int
 }
 
+// WithDefaults returns the options as the Monitor will actually use them,
+// with zero values replaced by defaults (unit space, GridM 50, TreeCapacity
+// 16). Components that must agree with the monitor's effective geometry —
+// the shard partition function, external index implementations — normalize
+// through this before deriving anything from Space or GridM.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
+
 func (o Options) withDefaults() Options {
 	if !o.Space.IsValid() || o.Space.Area() == 0 {
 		o.Space = geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
@@ -127,7 +133,7 @@ type objectState struct {
 type Monitor struct {
 	opt     Options
 	objects map[uint64]*objectState
-	tree    *rtree.Tree
+	index   ObjIndex
 	grid    *gridindex.Grid
 	queries map[query.ID]*query.Query
 	// resultOf is the reverse result index: for each object, the queries it
@@ -184,7 +190,7 @@ func New(opt Options, prober Prober, onUpdate func(ResultUpdate)) *Monitor {
 	return &Monitor{
 		opt:        opt,
 		objects:    make(map[uint64]*objectState),
-		tree:       rtree.NewWithCapacity(opt.TreeCapacity),
+		index:      newLocalIndex(opt.TreeCapacity),
 		grid:       gridindex.New(opt.GridM, opt.Space),
 		queries:    make(map[query.ID]*query.Query),
 		resultOf:   make(map[uint64]map[query.ID]bool),
@@ -270,7 +276,7 @@ func (m *Monitor) AddObject(id uint64, p geom.Point) []SafeRegionUpdate {
 	st := &objectState{id: id, lastLoc: p, prevLoc: p, lastTime: m.now}
 	m.objects[id] = st
 	st.safe = geom.RectAround(p)
-	m.tree.Insert(id, st.safe)
+	m.index.Insert(id, st.safe)
 	// A new object can change results of queries whose quarantine contains p.
 	m.beginOp()
 	for _, q := range m.grid.At(p) {
@@ -299,7 +305,7 @@ func (m *Monitor) RemoveObject(id uint64) []SafeRegionUpdate {
 		t0, before = m.obsStart()
 	}
 	m.beginOp()
-	m.tree.Delete(id)
+	m.index.Delete(id)
 	delete(m.objects, id)
 	for _, qid := range m.sortedQueryIDs() {
 		q := m.queries[qid]
@@ -565,7 +571,7 @@ func (m *Monitor) virtualProbe(id uint64) bool {
 	}
 	shr := st.safe.Intersect(rb)
 	st.safe = clampSafe(shr, st.lastLoc)
-	m.tree.Update(id, st.safe)
+	m.index.Update(id, st.safe)
 	m.shrunkNow[id] = true
 	m.stats.VirtualProbes++
 	m.noteShrink(id)
@@ -654,14 +660,14 @@ func (m *Monitor) setResults(q *query.Query, ids []uint64) {
 // violated. Intended for tests and the srbdebug build, which asserts it
 // after every mutating operation.
 func (m *Monitor) CheckInvariants() error {
-	if err := m.tree.CheckInvariants(); err != nil {
+	if err := m.index.CheckInvariants(); err != nil {
 		return err
 	}
 	if err := m.grid.CheckInvariants(); err != nil {
 		return err
 	}
-	if m.tree.Len() != len(m.objects) {
-		return fmt.Errorf("tree has %d items, %d objects registered", m.tree.Len(), len(m.objects))
+	if m.index.Len() != len(m.objects) {
+		return fmt.Errorf("tree has %d items, %d objects registered", m.index.Len(), len(m.objects))
 	}
 	if m.grid.Len() != len(m.queries) {
 		return fmt.Errorf("grid indexes %d queries, %d registered", m.grid.Len(), len(m.queries))
@@ -671,7 +677,7 @@ func (m *Monitor) CheckInvariants() error {
 			len(m.probedNow), len(m.probedFrom), len(m.shrunkNow))
 	}
 	for id, st := range m.objects {
-		r, ok := m.tree.Get(id)
+		r, ok := m.index.Get(id)
 		if !ok {
 			return fmt.Errorf("object %d missing from tree", id)
 		}

@@ -43,7 +43,7 @@ func (m *Monitor) Update(id uint64, p geom.Point) []SafeRegionUpdate {
 	// mis-prune best-first searches.
 	m.probedNow[id] = p
 	st.safe = geom.RectAround(p)
-	m.tree.Update(id, st.safe)
+	m.index.Update(id, st.safe)
 	processed := make(map[query.ID]bool)
 	for _, q := range m.grid.Affected(pLst, p) {
 		processed[q.ID] = true

@@ -1,0 +1,358 @@
+package shard_test
+
+// Differential harness for the sharded index's determinism contract: a
+// single-tree core.Monitor and a ShardedMonitor are driven with the
+// identical seeded random-waypoint workload — honest exit-driven reporting,
+// range + circle + COUNT + kNN queries with register/deregister churn,
+// object churn — and every tick asserts bit-identical safe-region streams,
+// result-update streams, Stats counters, per-query results, and per-object
+// safe regions, at 1, 2, 4 and 8 shards. Mid-run both sides snapshot
+// (byte-identical), the sharded side is rebuilt under a DIFFERENT shard
+// count, and the drive continues — the crash-recovery cycle plus the
+// partition-independence claim in one stroke. The whole suite repeats at
+// GOMAXPROCS 1, 4 and 8 (make shard-diff runs it under -race).
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+
+	"srb/internal/core"
+	"srb/internal/geom"
+	"srb/internal/mobility"
+	"srb/internal/query"
+	"srb/internal/shard"
+)
+
+// shardDiffConfig sizes one differential scenario.
+type shardDiffConfig struct {
+	seed   int64
+	opt    core.Options
+	shards int
+	nObj   int
+	nQuery int
+	ticks  int
+	dt     float64
+}
+
+func baseOptions() core.Options {
+	return core.Options{
+		Space: geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
+		GridM: 10,
+	}
+}
+
+func enhancedOptions() core.Options {
+	o := baseOptions()
+	o.MaxSpeed = 0.2
+	o.Steadiness = 0.5
+	o.CellNeighborhood = 1
+	return o
+}
+
+func TestShardedDifferential(t *testing.T) {
+	type scenario struct {
+		name string
+		cfg  shardDiffConfig
+	}
+	var scenarios []scenario
+	for _, n := range []int{1, 2, 4, 8} {
+		scenarios = append(scenarios,
+			scenario{fmt.Sprintf("base/shards=%d", n),
+				shardDiffConfig{seed: int64(n), opt: baseOptions(), shards: n, nObj: 130, nQuery: 12, ticks: 24, dt: 0.4}},
+			scenario{fmt.Sprintf("enhanced/shards=%d", n),
+				shardDiffConfig{seed: int64(n) + 100, opt: enhancedOptions(), shards: n, nObj: 110, nQuery: 10, ticks: 20, dt: 0.4}},
+		)
+	}
+	for _, gmp := range []int{1, 4, 8} {
+		gmp := gmp
+		t.Run(fmt.Sprintf("gomaxprocs=%d", gmp), func(t *testing.T) {
+			// GOMAXPROCS is process-global: subtests must stay serial.
+			prev := runtime.GOMAXPROCS(gmp)
+			defer runtime.GOMAXPROCS(prev)
+			for _, sc := range scenarios {
+				t.Run(sc.name, func(t *testing.T) { runShardDifferential(t, sc.cfg) })
+			}
+		})
+	}
+}
+
+// runShardDifferential drives both monitor variants through the workload and
+// fails on the first divergence.
+func runShardDifferential(t *testing.T, cfg shardDiffConfig) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(cfg.seed))
+
+	// Shared ground truth: both sides' probes answer with the object's exact
+	// current position, so probe outcomes cannot diverge.
+	pos := make(map[uint64]geom.Point)
+	prober := core.ProberFunc(func(id uint64) geom.Point { return pos[id] })
+
+	var seqPushed, shPushed []core.ResultUpdate
+	pushSeq := func(u core.ResultUpdate) { seqPushed = append(seqPushed, u) }
+	pushSh := func(u core.ResultUpdate) { shPushed = append(shPushed, u) }
+
+	seq := core.New(cfg.opt, prober, pushSeq)
+	sh, err := shard.New(cfg.opt, cfg.shards, prober, pushSh)
+	if err != nil {
+		t.Fatalf("shard.New: %v", err)
+	}
+	defer func() { sh.Close() }()
+
+	checkPushed := func(ctx string) {
+		t.Helper()
+		if !reflect.DeepEqual(seqPushed, shPushed) {
+			t.Fatalf("%s: result-update streams diverged\nseq: %v\nsharded: %v", ctx, seqPushed, shPushed)
+		}
+		seqPushed, shPushed = nil, nil
+	}
+	var qids []query.ID
+	checkState := func(ctx string) {
+		t.Helper()
+		if s, p := seq.Stats(), sh.Stats(); s != p {
+			t.Fatalf("%s: stats diverged\nseq: %+v\nsharded: %+v", ctx, s, p)
+		}
+		for _, qid := range qids {
+			sr, sok := seq.Results(qid)
+			pr, pok := sh.Results(qid)
+			if sok != pok || !reflect.DeepEqual(sr, pr) {
+				t.Fatalf("%s: query %d results diverged\nseq: %v (%v)\nsharded: %v (%v)", ctx, qid, sr, sok, pr, pok)
+			}
+		}
+		for id := range pos {
+			sr, sok := seq.SafeRegion(id)
+			pr, pok := sh.SafeRegion(id)
+			//lint:allow floatcmp differential oracle: the contract is bit-identical state
+			if sok != pok || sr != pr {
+				t.Fatalf("%s: object %d safe region diverged\nseq: %v (%v)\nsharded: %v (%v)", ctx, id, sr, sok, pr, pok)
+			}
+		}
+		if seq.NumObjects() != sh.NumObjects() || seq.NumQueries() != sh.NumQueries() {
+			t.Fatalf("%s: population diverged: %d/%d objects, %d/%d queries",
+				ctx, seq.NumObjects(), sh.NumObjects(), seq.NumQueries(), sh.NumQueries())
+		}
+	}
+
+	// Registration phase at t=0: objects first, then the query workload.
+	walkers := make(map[uint64]*mobility.Waypoint, cfg.nObj)
+	seq.SetTime(0)
+	sh.SetTime(0)
+	for i := 0; i < cfg.nObj; i++ {
+		id := uint64(i)
+		start := geom.Pt(rng.Float64(), rng.Float64())
+		walkers[id] = mobility.NewWaypoint(cfg.seed, id, cfg.opt.Space, 0.08, 2, start)
+		pos[id] = start
+		su := seq.AddObject(id, start)
+		pu := sh.AddObject(id, start)
+		if !reflect.DeepEqual(su, pu) {
+			t.Fatalf("AddObject(%d): regions diverged\nseq: %v\nsharded: %v", id, su, pu)
+		}
+	}
+
+	nextQID := query.ID(1)
+	registerOne := func(ctx string) {
+		t.Helper()
+		qid := nextQID
+		nextQID++
+		var sres, pres []uint64
+		var sups, pups []core.SafeRegionUpdate
+		var serr, perr error
+		switch rng.Intn(4) {
+		case 0:
+			x, y := rng.Float64(), rng.Float64()
+			w, h := 0.05+rng.Float64()*0.15, 0.05+rng.Float64()*0.15
+			r := geom.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}
+			sres, sups, serr = seq.RegisterRange(qid, r)
+			pres, pups, perr = sh.RegisterRange(qid, r)
+		case 1:
+			c := geom.Pt(rng.Float64(), rng.Float64())
+			k := 1 + rng.Intn(5)
+			ordered := rng.Intn(2) == 0
+			sres, sups, serr = seq.RegisterKNN(qid, c, k, ordered)
+			pres, pups, perr = sh.RegisterKNN(qid, c, k, ordered)
+		case 2:
+			c := geom.Pt(rng.Float64(), rng.Float64())
+			rad := 0.05 + rng.Float64()*0.1
+			sres, sups, serr = seq.RegisterWithinDistance(qid, c, rad)
+			pres, pups, perr = sh.RegisterWithinDistance(qid, c, rad)
+		default:
+			x, y := rng.Float64(), rng.Float64()
+			w, h := 0.05+rng.Float64()*0.2, 0.05+rng.Float64()*0.2
+			r := geom.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}
+			var sn, pn int
+			sn, sups, serr = seq.RegisterCount(qid, r)
+			pn, pups, perr = sh.RegisterCount(qid, r)
+			if sn != pn {
+				t.Fatalf("%s: register count %d diverged: %d vs %d", ctx, qid, sn, pn)
+			}
+		}
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("%s: register %d error diverged: %v vs %v", ctx, qid, serr, perr)
+		}
+		if serr == nil {
+			qids = append(qids, qid)
+		}
+		if !reflect.DeepEqual(sres, pres) || !reflect.DeepEqual(sups, pups) {
+			t.Fatalf("%s: register %d outcome diverged\nseq: %v %v\nsharded: %v %v", ctx, qid, sres, sups, pres, pups)
+		}
+	}
+	for i := 0; i < cfg.nQuery; i++ {
+		registerOne("initial registration")
+	}
+	checkPushed("after registration")
+	checkState("after registration")
+
+	migrated := int64(0)  // cumulative across the recovery rebuild
+	scattered := int64(0) // cumulative across the recovery rebuild
+
+	var removed []uint64 // object-churn victims awaiting re-add
+	for tick := 1; tick <= cfg.ticks; tick++ {
+		now := float64(tick) * cfg.dt
+		ctx := fmt.Sprintf("tick %d", tick)
+		seq.SetTime(now)
+		sh.SetTime(now)
+
+		// Move everyone, then report honestly: exactly the objects that left
+		// their safe region send an update, in ascending object-ID order on
+		// both sides (the serialized-op contract; batching is the PR 3
+		// pipeline's concern, not the shard layer's).
+		var due []uint64
+		for id, w := range walkers {
+			p := w.At(now)
+			pos[id] = p
+			if r, ok := seq.SafeRegion(id); ok && !r.Contains(p) {
+				due = append(due, id)
+			}
+		}
+		sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+		for _, id := range due {
+			su := seq.Update(id, pos[id])
+			pu := sh.Update(id, pos[id])
+			if !reflect.DeepEqual(su, pu) {
+				t.Fatalf("%s: Update(%d) safe-region stream diverged\nseq: %v\nsharded: %v", ctx, id, su, pu)
+			}
+		}
+		checkPushed(ctx)
+		checkState(ctx)
+
+		// Query churn: replace the oldest query every few ticks.
+		if tick%4 == 0 && len(qids) > 0 {
+			victim := qids[0]
+			qids = qids[1:]
+			sok := seq.Deregister(victim)
+			pok := sh.Deregister(victim)
+			if sok != pok {
+				t.Fatalf("%s: deregister %d diverged: %v vs %v", ctx, victim, sok, pok)
+			}
+			registerOne(ctx)
+			checkPushed(ctx + " (query churn)")
+			checkState(ctx + " (query churn)")
+		}
+		// Object churn: remove one object, re-add it two ticks later at its
+		// then-current position.
+		if tick%7 == 0 {
+			id := uint64(rng.Intn(cfg.nObj))
+			if _, ok := pos[id]; ok {
+				su := seq.RemoveObject(id)
+				pu := sh.RemoveObject(id)
+				if !reflect.DeepEqual(su, pu) {
+					t.Fatalf("%s: RemoveObject(%d) diverged\nseq: %v\nsharded: %v", ctx, id, su, pu)
+				}
+				delete(pos, id)
+				removed = append(removed, id)
+			}
+		}
+		if tick%7 == 2 && len(removed) > 0 {
+			id := removed[0]
+			removed = removed[1:]
+			p := walkers[id].At(now)
+			pos[id] = p
+			su := seq.AddObject(id, p)
+			pu := sh.AddObject(id, p)
+			if !reflect.DeepEqual(su, pu) {
+				t.Fatalf("%s: re-AddObject(%d) diverged\nseq: %v\nsharded: %v", ctx, id, su, pu)
+			}
+			checkPushed(ctx + " (object churn)")
+			checkState(ctx + " (object churn)")
+		}
+		if tick%8 == 0 {
+			if err := sh.Core().CheckInvariants(); err != nil {
+				t.Fatalf("%s: sharded invariants: %v", ctx, err)
+			}
+		}
+
+		// Crash-recovery cycle at half-time: both sides snapshot
+		// (byte-identical, since snapshot content is index-independent), the
+		// sharded side is torn down and rebuilt under a different shard
+		// count, and the workload continues against the recovered pair.
+		if tick == cfg.ticks/2 {
+			var sb, pb bytes.Buffer
+			if err := seq.SaveSnapshot(&sb); err != nil {
+				t.Fatalf("%s: seq snapshot: %v", ctx, err)
+			}
+			if err := sh.SaveSnapshot(&pb); err != nil {
+				t.Fatalf("%s: sharded snapshot: %v", ctx, err)
+			}
+			if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+				t.Fatalf("%s: snapshots differ between single and sharded monitor", ctx)
+			}
+			migrated += sh.Forest().Migrations()
+			scattered += sh.Forest().Scatters()
+			sh.Close()
+			rotated := cfg.shards + 1
+			sh2, err := shard.New(cfg.opt, rotated, prober, pushSh)
+			if err != nil {
+				t.Fatalf("%s: rebuild with %d shards: %v", ctx, rotated, err)
+			}
+			if err := sh2.LoadSnapshot(&pb); err != nil {
+				t.Fatalf("%s: sharded LoadSnapshot: %v", ctx, err)
+			}
+			seq2 := core.New(cfg.opt, prober, pushSeq)
+			if err := seq2.LoadSnapshot(&sb); err != nil {
+				t.Fatalf("%s: seq LoadSnapshot: %v", ctx, err)
+			}
+			seq, sh = seq2, sh2
+			if err := sh.Core().CheckInvariants(); err != nil {
+				t.Fatalf("%s: invariants after recovery: %v", ctx, err)
+			}
+			checkState(ctx + " (after recovery)")
+		}
+	}
+
+	if err := seq.CheckInvariants(); err != nil {
+		t.Fatalf("final seq invariants: %v", err)
+	}
+	if err := sh.Core().CheckInvariants(); err != nil {
+		t.Fatalf("final sharded invariants: %v", err)
+	}
+
+	// Vacuity guards: the harness only proves something about the shard
+	// layer if objects actually crossed boundaries and searches actually
+	// scattered.
+	migrated += sh.Forest().Migrations()
+	scattered += sh.Forest().Scatters()
+	if scattered == 0 {
+		t.Fatalf("workload produced no scatter-gather searches")
+	}
+	if cfg.shards > 1 {
+		if migrated == 0 {
+			t.Fatalf("no object ever migrated across a shard boundary: scenario too static")
+		}
+		counts := sh.Forest().ShardObjects()
+		nonEmpty := 0
+		for _, c := range counts {
+			if c > 0 {
+				nonEmpty++
+			}
+		}
+		if nonEmpty < 2 {
+			t.Fatalf("only %d shard(s) populated (%v): partition not exercised", nonEmpty, counts)
+		}
+	}
+	t.Logf("shards=%d: %d migrations, %d scatters, per-shard %v, %d strays",
+		cfg.shards, migrated, scattered, sh.Forest().ShardObjects(), len(sh.Forest().StrayIDs()))
+}

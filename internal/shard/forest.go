@@ -1,0 +1,359 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"srb/internal/core"
+	"srb/internal/geom"
+	"srb/internal/obs"
+	"srb/internal/rtree"
+)
+
+// call is one unit of work shipped to a shard worker. fn runs on the
+// worker's goroutine; when ack is non-nil the worker signals completion on
+// it, giving the coordinator a happens-before edge over everything fn read
+// or wrote.
+type call struct {
+	fn  func()
+	ack chan<- struct{}
+}
+
+// worker owns one shard's R*-tree. The tree is confined to the worker's
+// goroutine: every read or write runs as a call on reqs, so the only
+// synchronization the Forest needs is the channel itself. This is the local
+// embodiment of the remote-shard seam — a later PR replaces the channel with
+// the wire protocol and the closures with request/response messages (route,
+// migrate, scatter, gather) without touching the coordinator's algorithms.
+type worker struct {
+	id   int
+	tree *rtree.Tree
+	reqs chan call
+}
+
+func (w *worker) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for c := range w.reqs {
+		c.fn()
+		if c.ack != nil {
+			c.ack <- struct{}{}
+		}
+	}
+}
+
+// objInfo is the coordinator-side mirror of one indexed object: owning
+// shard, indexed rect, and whether the object is a stray (its rect routes to
+// a different stripe than its owner — see Update).
+type objInfo struct {
+	shard int
+	rect  geom.Rect
+	stray bool
+}
+
+// Forest is a core.ObjIndex sharded into N per-stripe R*-trees, each
+// confined to its own worker goroutine. The coordinator (the monitor's
+// single mutator goroutine) routes point operations to the owning shard,
+// migrates objects whose updates cross a stripe boundary, scatters range
+// collection to every shard in parallel, and serves best-first kNN expansion
+// by executing each node visit inside the owning worker.
+//
+// Concurrency contract: all ObjIndex methods and Close must be called from
+// one goroutine at a time (the Monitor serializes them); only the internal
+// scatter fans out. Close stops the workers; no method may be called after.
+type Forest struct {
+	part    Partition
+	workers []*worker
+	objs    map[uint64]objInfo
+	counts  []int
+	ack     chan struct{} // reusable completion for serialized single-shard calls
+	wg      sync.WaitGroup
+	closed  sync.Once
+
+	// Scatter scratch, reused across Collect calls (coordinator-confined).
+	buckets [][]rtree.Item
+
+	migrations int64 // total cross-shard migrations (tests and /queries)
+	scatters   int64 // total scatter-gather collections
+	strayN     int   // objects currently indexed off their routed stripe
+
+	fobs   *forestObs
+	flight *obs.FlightRecorder
+}
+
+// NewForest builds an n-shard forest for a monitor configured with opt. The
+// partition derives from the effective options (core.Options.WithDefaults),
+// so the caller may pass the same opt it gives core.New. Workers start
+// immediately; the caller owns Close.
+func NewForest(opt core.Options, n int) *Forest {
+	opt = opt.WithDefaults()
+	f := &Forest{
+		part:    NewPartition(opt, n),
+		workers: make([]*worker, 0, n),
+		objs:    make(map[uint64]objInfo),
+		counts:  make([]int, n),
+		ack:     make(chan struct{}),
+		buckets: make([][]rtree.Item, n),
+	}
+	for i := 0; i < n; i++ {
+		w := &worker{id: i, tree: rtree.NewWithCapacity(opt.TreeCapacity), reqs: make(chan call)}
+		f.workers = append(f.workers, w)
+		f.wg.Add(1)
+		go w.run(&f.wg) //lint:allow bareGoroutine shard worker: runs until Close closes reqs, tracked by f.wg
+	}
+	return f
+}
+
+// Close stops every shard worker and waits for them to exit. Idempotent and
+// safe to call from multiple goroutines; must not race any in-flight index
+// call.
+func (f *Forest) Close() {
+	f.closed.Do(func() {
+		for _, w := range f.workers {
+			close(w.reqs) //lint:allow chanlife the coordinator is the sole sender; callers must not race Close with index calls
+		}
+		f.wg.Wait()
+	})
+}
+
+// NumShards returns the shard count.
+func (f *Forest) NumShards() int { return f.part.N() }
+
+// Partition returns the pure routing function of this forest.
+func (f *Forest) Partition() Partition { return f.part }
+
+// Migrations returns how many objects have crossed a shard boundary.
+func (f *Forest) Migrations() int64 { return f.migrations }
+
+// Scatters returns how many scatter-gather range collections have run.
+func (f *Forest) Scatters() int64 { return f.scatters }
+
+// Strays returns how many objects are currently indexed off their routed
+// stripe (in-place shrinks whose migration is deferred — see Update).
+func (f *Forest) Strays() int { return f.strayN }
+
+// ShardObjects returns the number of objects owned by each shard.
+func (f *Forest) ShardObjects() []int {
+	return append([]int(nil), f.counts...)
+}
+
+// do1 runs fn inside one shard's worker and waits for it to finish. The
+// shared unbuffered ack channel is safe because calls are serialized by the
+// coordinator.
+func (f *Forest) do1(shard int, fn func()) {
+	f.workers[shard].reqs <- call{fn: fn, ack: f.ack}
+	<-f.ack
+}
+
+// Insert implements core.ObjIndex.
+func (f *Forest) Insert(id uint64, r geom.Rect) {
+	to := f.part.Route(r)
+	w := f.workers[to]
+	f.do1(to, func() { w.tree.Insert(id, r) })
+	f.objs[id] = objInfo{shard: to, rect: r}
+	f.counts[to]++
+	f.noteCount(to)
+}
+
+// Delete implements core.ObjIndex.
+func (f *Forest) Delete(id uint64) bool {
+	info, ok := f.objs[id]
+	if !ok {
+		return false
+	}
+	w := f.workers[info.shard]
+	f.do1(info.shard, func() { w.tree.Delete(id) })
+	delete(f.objs, id)
+	f.counts[info.shard]--
+	if info.stray {
+		f.strayN--
+	}
+	f.noteCount(info.shard)
+	return true
+}
+
+// Update implements core.ObjIndex. An update whose new rect routes to a
+// different stripe migrates the object — delete from the old shard, insert
+// into the new, flip ownership — and records the migration (counter plus
+// flight-recorder event). The one exception is an in-place shrink: a rect
+// contained in the currently indexed rect comes from a reachability-circle
+// virtual probe, which can fire mid-search while the evaluation frontier
+// holds node pointers into this very tree. A shrink always takes the R*-tree
+// fast path (no restructuring), so it is applied in the owning shard even
+// when its center has crossed a stripe boundary; the object is then a
+// "stray" until its next boundary-crossing update migrates it. Strays cost
+// only load-balance precision — every search is a broadcast over all shards,
+// so ownership never affects results (ARCHITECTURE.md "Migration protocol").
+func (f *Forest) Update(id uint64, r geom.Rect) {
+	info, ok := f.objs[id]
+	if !ok {
+		f.Insert(id, r)
+		return
+	}
+	to := f.part.Route(r)
+	from := info.shard
+	if to == from || info.rect.ContainsRect(r) {
+		w := f.workers[from]
+		f.do1(from, func() { w.tree.Update(id, r) })
+		stray := to != from
+		if stray != info.stray {
+			if stray {
+				f.strayN++
+			} else {
+				f.strayN--
+			}
+		}
+		f.objs[id] = objInfo{shard: from, rect: r, stray: stray}
+		f.noteCount(from)
+		return
+	}
+	src, dst := f.workers[from], f.workers[to]
+	f.do1(from, func() { src.tree.Delete(id) })
+	f.do1(to, func() { dst.tree.Insert(id, r) })
+	if info.stray {
+		f.strayN--
+	}
+	f.objs[id] = objInfo{shard: to, rect: r}
+	f.counts[from]--
+	f.counts[to]++
+	f.migrations++
+	f.noteCount(from)
+	f.noteCount(to)
+	f.noteMigration(id, from, to)
+}
+
+// Get implements core.ObjIndex from the coordinator-side mirror.
+func (f *Forest) Get(id uint64) (geom.Rect, bool) {
+	info, ok := f.objs[id]
+	if !ok {
+		return geom.Rect{}, false
+	}
+	return info.rect, true
+}
+
+// Len implements core.ObjIndex.
+func (f *Forest) Len() int { return len(f.objs) }
+
+// Collect implements core.ObjIndex by scatter-gather: every shard searches
+// its own tree in parallel on its worker goroutine, then the coordinator
+// concatenates the per-shard buckets shard-major. The concatenation order is
+// irrelevant to the monitor — rangeCandidates sorts by object ID — which is
+// exactly what makes the scatter safe to parallelize.
+func (f *Forest) Collect(q geom.Rect, dst []rtree.Item) []rtree.Item {
+	var wg sync.WaitGroup
+	for i, w := range f.workers {
+		f.buckets[i] = f.buckets[i][:0]
+		if w.tree.Len() == 0 {
+			continue
+		}
+		wg.Add(1)
+		bucket := &f.buckets[i]
+		ww := w
+		ff := func() {
+			defer wg.Done()
+			ww.tree.Search(q, func(it rtree.Item) bool {
+				*bucket = append(*bucket, it)
+				return true
+			})
+		}
+		ww.reqs <- call{fn: ff}
+	}
+	wg.Wait()
+	fanout := 0
+	for i := range f.buckets {
+		if len(f.buckets[i]) > 0 {
+			fanout++
+		}
+		dst = append(dst, f.buckets[i]...)
+	}
+	f.scatters++
+	f.noteScatter(fanout)
+	return dst
+}
+
+// Seeds implements core.ObjIndex: one seed per non-empty shard tree. The
+// root pointers are read from the coordinator goroutine, which is safe —
+// every mutation was acknowledged through a channel, giving the coordinator
+// a happens-before edge over all worker writes, and no mutation can run
+// concurrently with an evaluation.
+func (f *Forest) Seeds(yield func(shard int, root *rtree.Node)) {
+	for i, w := range f.workers {
+		if w.tree.Len() > 0 {
+			yield(i, w.tree.Root())
+		}
+	}
+}
+
+// Visit implements core.ObjIndex: the node expansion runs inside the owning
+// shard's worker (the cross-shard candidate-exchange step of a boundary
+// kNN), with the coordinator blocked until it completes. The yield callback
+// may therefore touch coordinator state — the channel rendezvous orders the
+// accesses.
+func (f *Forest) Visit(shard int, n *rtree.Node, yield core.IndexVisitor) {
+	f.do1(shard, func() { core.ExpandNode(n, yield) })
+	f.noteVisit(shard)
+}
+
+// CheckInvariants implements core.ObjIndex: per-shard tree invariants plus
+// the forest's own — the partition covers every grid column exactly once,
+// the coordinator mirror matches each tree's contents bit for bit, per-shard
+// counts agree, and every non-stray object is indexed in the stripe its rect
+// routes to.
+func (f *Forest) CheckInvariants() error {
+	if err := f.part.check(); err != nil {
+		return err
+	}
+	total := 0
+	for i, w := range f.workers {
+		var err error
+		var items []rtree.Item
+		ww := w
+		f.do1(i, func() {
+			err = ww.tree.CheckInvariants()
+			ww.tree.All(func(it rtree.Item) bool {
+				items = append(items, it)
+				return true
+			})
+		})
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if len(items) != f.counts[i] {
+			return fmt.Errorf("shard %d: tree has %d items, count says %d", i, len(items), f.counts[i])
+		}
+		total += len(items)
+		for _, it := range items {
+			info, ok := f.objs[it.ID]
+			if !ok {
+				return fmt.Errorf("shard %d: object %d indexed but not in mirror", i, it.ID)
+			}
+			if info.shard != i {
+				return fmt.Errorf("object %d: mirror says shard %d, found in %d", it.ID, info.shard, i)
+			}
+			//lint:allow floatcmp mirror and tree hold copies of the same rect; bit equality is the invariant
+			if info.rect != it.Rect {
+				return fmt.Errorf("object %d: mirror rect %v != indexed %v", it.ID, info.rect, it.Rect)
+			}
+			if want := f.part.Route(it.Rect); want != i && !info.stray {
+				return fmt.Errorf("object %d: routed to shard %d but owned by %d without stray mark", it.ID, want, i)
+			}
+		}
+	}
+	if total != len(f.objs) {
+		return fmt.Errorf("shard trees hold %d objects, mirror has %d", total, len(f.objs))
+	}
+	return nil
+}
+
+// StrayIDs returns the IDs of stray objects (indexed off their routed
+// stripe after an in-place shrink), ascending. Diagnostic only.
+func (f *Forest) StrayIDs() []uint64 {
+	var ids []uint64
+	for id, info := range f.objs {
+		if info.stray {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,227 @@
+package shard
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"srb/internal/geom"
+	"srb/internal/obs"
+	"srb/internal/rtree"
+)
+
+// A forest driven with random inserts, updates (including boundary
+// crossings), and deletes must stay consistent with a brute-force mirror:
+// identical Collect sets, Len, Get, and passing invariants throughout.
+func TestForestAgainstBruteForce(t *testing.T) {
+	opt := optsWithGrid(10)
+	f := NewForest(opt, 4)
+	defer f.Close()
+	rng := rand.New(rand.NewSource(11))
+	truth := make(map[uint64]geom.Rect)
+
+	randRect := func() geom.Rect {
+		x, y := rng.Float64(), rng.Float64()
+		return geom.Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*0.1, MaxY: y + rng.Float64()*0.1}
+	}
+	collectIDs := func(q geom.Rect) []uint64 {
+		var ids []uint64
+		for _, it := range f.Collect(q, nil) {
+			ids = append(ids, it.ID)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return ids
+	}
+	bruteIDs := func(q geom.Rect) []uint64 {
+		var ids []uint64
+		for id, r := range truth {
+			if r.Intersects(q) {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return ids
+	}
+
+	for step := 0; step < 3000; step++ {
+		id := uint64(rng.Intn(150))
+		switch rng.Intn(4) {
+		case 0:
+			r := randRect()
+			if _, ok := truth[id]; ok {
+				f.Update(id, r)
+			} else {
+				f.Insert(id, r)
+			}
+			truth[id] = r
+		case 1:
+			if _, ok := truth[id]; ok {
+				r := randRect()
+				f.Update(id, r)
+				truth[id] = r
+			}
+		case 2:
+			_, ok := truth[id]
+			if got := f.Delete(id); got != ok {
+				t.Fatalf("step %d: Delete(%d) = %v, want %v", step, id, got, ok)
+			}
+			delete(truth, id)
+		default:
+			q := randRect()
+			got, want := collectIDs(q), bruteIDs(q)
+			if len(got) != len(want) {
+				t.Fatalf("step %d: Collect returned %v, want %v", step, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("step %d: Collect returned %v, want %v", step, got, want)
+				}
+			}
+		}
+		want, inTruth := truth[id]
+		r, ok := f.Get(id)
+		//lint:allow floatcmp mirror equality is the contract
+		if ok != inTruth || (ok && r != want) {
+			t.Fatalf("step %d: Get(%d) = %v,%v; truth %v,%v", step, id, r, ok, want, inTruth)
+		}
+		if f.Len() != len(truth) {
+			t.Fatalf("step %d: Len %d, truth %d", step, f.Len(), len(truth))
+		}
+		if step%500 == 0 {
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("final: %v", err)
+	}
+	if f.Migrations() == 0 {
+		t.Fatal("no migrations: workload too static to test boundary crossings")
+	}
+}
+
+// An in-place shrink whose center crosses a stripe boundary must NOT migrate
+// (the mid-search hazard): the object becomes a stray in its old shard, is
+// still found by Collect, and the next non-shrink update migrates it.
+func TestForestStrayShrink(t *testing.T) {
+	f := NewForest(optsWithGrid(10), 2)
+	defer f.Close()
+	// Wide rect centered right of the stripe boundary at x=0.5 → shard 1.
+	wide := geom.Rect{MinX: 0.4, MinY: 0.4, MaxX: 0.8, MaxY: 0.6}
+	f.Insert(1, wide)
+	if got := f.part.Route(wide); got != 1 {
+		t.Fatalf("setup: wide rect routed to %d, want 1", got)
+	}
+	// Shrink to the left edge: contained in wide, center now routes to shard 0.
+	shrunk := geom.Rect{MinX: 0.4, MinY: 0.45, MaxX: 0.45, MaxY: 0.55}
+	if got := f.part.Route(shrunk); got != 0 {
+		t.Fatalf("setup: shrunk rect routed to %d, want 0", got)
+	}
+	f.Update(1, shrunk)
+	if n := f.Migrations(); n != 0 {
+		t.Fatalf("shrink migrated (%d migrations), must stay in place", n)
+	}
+	if ids := f.StrayIDs(); len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("StrayIDs = %v, want [1]", ids)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("invariants with stray: %v", err)
+	}
+	found := f.Collect(geom.Rect{MinX: 0.3, MinY: 0.3, MaxX: 0.5, MaxY: 0.7}, nil)
+	if len(found) != 1 || found[0].ID != 1 {
+		t.Fatalf("stray not found by Collect: %v", found)
+	}
+	// A non-shrink update (disjoint from the current rect) migrates it home.
+	moved := geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.2, MaxY: 0.2}
+	f.Update(1, moved)
+	if n := f.Migrations(); n != 1 {
+		t.Fatalf("boundary-crossing update made %d migrations, want 1", n)
+	}
+	if ids := f.StrayIDs(); len(ids) != 0 {
+		t.Fatalf("stray mark not cleared: %v", ids)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after migration: %v", err)
+	}
+}
+
+// SetObs registers the six srb_shard_* families and keeps the per-shard
+// object gauges in step with mutations.
+func TestForestObs(t *testing.T) {
+	f := NewForest(optsWithGrid(10), 2)
+	defer f.Close()
+	sink := obs.NewSink(obs.NewRegistry(), nil)
+	f.SetObs(sink)
+	fr := obs.NewFlightRecorder(16, "")
+	f.SetFlightRecorder(fr)
+
+	left := geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.2, MaxY: 0.2}
+	right := geom.Rect{MinX: 0.7, MinY: 0.1, MaxX: 0.8, MaxY: 0.2}
+	f.Insert(1, left)
+	f.Insert(2, right)
+	f.Update(1, right) // migrate 0 -> 1
+	f.Collect(geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, nil)
+
+	var dumpBuf strings.Builder
+	if err := sink.Registry().WriteText(&dumpBuf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	dump := dumpBuf.String()
+	for _, want := range []string{
+		`srb_shard_objects{shard="0"} 0`,
+		`srb_shard_objects{shard="1"} 2`,
+		`srb_shard_migrations_total{shard="1"} 1`,
+		`srb_shard_scatter_total{shard="1"} 1`,
+		"srb_shard_stray_objects 0",
+		"srb_shard_scatter_fanout",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("metrics dump missing %q:\n%s", want, dump)
+		}
+	}
+	var migrates int
+	for _, ev := range fr.Events() {
+		if ev.Kind == obs.FlightMigrate && ev.Obj == 1 {
+			migrates++
+		}
+	}
+	if migrates != 1 {
+		t.Fatalf("flight recorder holds %d migrate events for object 1, want 1", migrates)
+	}
+}
+
+// Close is idempotent and leaves no workers behind.
+func TestForestClose(t *testing.T) {
+	f := NewForest(optsWithGrid(10), 3)
+	f.Insert(1, geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.2, MaxY: 0.2})
+	f.Close()
+	f.Close()
+}
+
+// Visit expands a node inside the owning worker, yielding the same children a
+// direct expansion would.
+func TestForestVisit(t *testing.T) {
+	f := NewForest(optsWithGrid(10), 2)
+	defer f.Close()
+	for i := 0; i < 20; i++ {
+		x := float64(i) / 20
+		f.Insert(uint64(i), geom.Rect{MinX: x, MinY: 0.4, MaxX: x + 0.02, MaxY: 0.45})
+	}
+	seen := make(map[uint64]bool)
+	var walk func(shard int, n *rtree.Node)
+	walk = func(shard int, n *rtree.Node) {
+		f.Visit(shard, n, func(child *rtree.Node, _ geom.Rect, it rtree.Item, isItem bool) {
+			if isItem {
+				seen[it.ID] = true
+			} else {
+				walk(shard, child)
+			}
+		})
+	}
+	f.Seeds(walk)
+	if len(seen) != 20 {
+		t.Fatalf("walked %d objects via Seeds+Visit, want 20", len(seen))
+	}
+}

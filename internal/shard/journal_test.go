@@ -1,0 +1,208 @@
+package shard_test
+
+// Journal-based crash recovery for the sharded monitor: a live ShardedMonitor
+// is driven with every operation journaled (probes bracketed exactly the way
+// internal/remote does it), then the journal is replayed into a fresh
+// single-tree monitor AND a fresh sharded monitor with a different shard
+// count. All three must agree bit for bit. The replay sides get a prober that
+// fails the test if consulted — every probe must be answered from the
+// recorded per-object FIFO, proving the sharded index preserves the probe
+// sequence the journal format relies on.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"srb/internal/core"
+	"srb/internal/geom"
+	"srb/internal/mobility"
+	"srb/internal/query"
+	"srb/internal/shard"
+)
+
+func TestShardedJournalRecovery(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			runShardedJournalRecovery(t, shards)
+		})
+	}
+}
+
+func runShardedJournalRecovery(t *testing.T, shards int) {
+	t.Helper()
+	opt := enhancedOptions()
+	rng := rand.New(rand.NewSource(int64(40 + shards)))
+	pos := make(map[uint64]geom.Point)
+
+	var buf bytes.Buffer
+	j := core.NewJournal(&buf, 0)
+
+	// Live prober records every answer into the pending journal entry, like
+	// remote.Server's persistence hook.
+	prober := core.ProberFunc(func(id uint64) geom.Point {
+		p := pos[id]
+		j.NoteProbe(id, p)
+		return p
+	})
+	live, err := shard.New(opt, shards, prober, nil)
+	if err != nil {
+		t.Fatalf("shard.New: %v", err)
+	}
+	defer live.Close()
+
+	commit := func(op string) {
+		t.Helper()
+		if err := j.Commit(); err != nil {
+			t.Fatalf("journal commit after %s: %v", op, err)
+		}
+	}
+
+	const nObj = 80
+	walkers := make(map[uint64]*mobility.Waypoint, nObj)
+	now := 0.0
+	live.SetTime(now)
+	for i := 0; i < nObj; i++ {
+		id := uint64(i)
+		start := geom.Pt(rng.Float64(), rng.Float64())
+		walkers[id] = mobility.NewWaypoint(int64(7), id, opt.Space, 0.08, 2, start)
+		pos[id] = start
+		j.Begin(core.JournalEntry{T: now, Op: core.JournalAdd, Obj: id, X: start.X, Y: start.Y})
+		live.AddObject(id, start)
+		commit("add")
+	}
+	qid := query.ID(1)
+	register := func() {
+		switch rng.Intn(4) {
+		case 0:
+			x, y := rng.Float64(), rng.Float64()
+			r := geom.Rect{MinX: x, MinY: y, MaxX: x + 0.15, MaxY: y + 0.15}
+			j.Begin(core.JournalEntry{T: now, Op: core.JournalRegister, QID: uint64(qid), Kind: core.KindRange, MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY})
+			if _, _, err := live.RegisterRange(qid, r); err != nil {
+				t.Fatalf("register range: %v", err)
+			}
+		case 1:
+			c := geom.Pt(rng.Float64(), rng.Float64())
+			k := 1 + rng.Intn(4)
+			ordered := rng.Intn(2) == 0
+			j.Begin(core.JournalEntry{T: now, Op: core.JournalRegister, QID: uint64(qid), Kind: core.KindKNN, X: c.X, Y: c.Y, K: k, Ordered: ordered})
+			if _, _, err := live.RegisterKNN(qid, c, k, ordered); err != nil {
+				t.Fatalf("register knn: %v", err)
+			}
+		case 2:
+			c := geom.Pt(rng.Float64(), rng.Float64())
+			rad := 0.05 + rng.Float64()*0.1
+			j.Begin(core.JournalEntry{T: now, Op: core.JournalRegister, QID: uint64(qid), Kind: core.KindCircle, X: c.X, Y: c.Y, Radius: rad})
+			if _, _, err := live.RegisterWithinDistance(qid, c, rad); err != nil {
+				t.Fatalf("register circle: %v", err)
+			}
+		default:
+			x, y := rng.Float64(), rng.Float64()
+			r := geom.Rect{MinX: x, MinY: y, MaxX: x + 0.2, MaxY: y + 0.2}
+			j.Begin(core.JournalEntry{T: now, Op: core.JournalRegister, QID: uint64(qid), Kind: core.KindCount, MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY})
+			if _, _, err := live.RegisterCount(qid, r); err != nil {
+				t.Fatalf("register count: %v", err)
+			}
+		}
+		commit("register")
+		qid++
+	}
+	for i := 0; i < 10; i++ {
+		register()
+	}
+
+	for tick := 1; tick <= 16; tick++ {
+		now = float64(tick) * 0.4
+		live.SetTime(now)
+		for id, w := range walkers {
+			p := w.At(now)
+			pos[id] = p
+		}
+		for id := uint64(0); id < nObj; id++ {
+			p, ok := pos[id]
+			if !ok {
+				continue
+			}
+			if r, srOK := live.SafeRegion(id); srOK && !r.Contains(p) {
+				j.Begin(core.JournalEntry{T: now, Op: core.JournalUpdate, Obj: id, X: p.X, Y: p.Y})
+				live.Update(id, p)
+				commit("update")
+			}
+		}
+		if tick%5 == 0 {
+			victim := query.ID(uint64(tick/5) + 1)
+			j.Begin(core.JournalEntry{T: now, Op: core.JournalDeregister, QID: uint64(victim)})
+			live.Deregister(victim)
+			commit("dereg")
+			register()
+		}
+		if tick%6 == 0 {
+			id := uint64(rng.Intn(nObj))
+			if _, ok := pos[id]; ok {
+				j.Begin(core.JournalEntry{T: now, Op: core.JournalRemove, Obj: id})
+				live.RemoveObject(id)
+				commit("remove")
+				delete(pos, id)
+				delete(walkers, id)
+			}
+		}
+	}
+
+	// Replay must never consult the live prober: all probes were recorded.
+	deadProber := core.ProberFunc(func(id uint64) geom.Point {
+		t.Fatalf("replay probed object %d instead of using the journal", id)
+		return geom.Point{}
+	})
+
+	single := core.New(opt, deadProber, nil)
+	if _, err := core.ReplayJournal(bytes.NewReader(buf.Bytes()), single, 0); err != nil {
+		t.Fatalf("replay into single monitor: %v", err)
+	}
+	resharded, err := shard.New(opt, shards+1, deadProber, nil)
+	if err != nil {
+		t.Fatalf("shard.New for replay: %v", err)
+	}
+	defer resharded.Close()
+	if _, err := core.ReplayJournal(bytes.NewReader(buf.Bytes()), resharded.Core(), 0); err != nil {
+		t.Fatalf("replay into sharded monitor: %v", err)
+	}
+
+	check := func(name string, got interface {
+		Stats() core.Stats
+		Results(query.ID) ([]uint64, bool)
+		SafeRegion(uint64) (geom.Rect, bool)
+		NumObjects() int
+		NumQueries() int
+	}) {
+		t.Helper()
+		if l, g := live.Stats(), got.Stats(); l != g {
+			t.Fatalf("%s: stats diverged\nlive: %+v\nreplayed: %+v", name, l, g)
+		}
+		for q := query.ID(1); q < qid; q++ {
+			lr, lok := live.Results(q)
+			gr, gok := got.Results(q)
+			if lok != gok || !reflect.DeepEqual(lr, gr) {
+				t.Fatalf("%s: query %d results diverged: %v (%v) vs %v (%v)", name, q, lr, lok, gr, gok)
+			}
+		}
+		for id := range pos {
+			lr, lok := live.SafeRegion(id)
+			gr, gok := got.SafeRegion(id)
+			//lint:allow floatcmp recovery oracle: the contract is bit-identical state
+			if lok != gok || lr != gr {
+				t.Fatalf("%s: object %d safe region diverged: %v vs %v", name, id, lr, gr)
+			}
+		}
+		if live.NumObjects() != got.NumObjects() || live.NumQueries() != got.NumQueries() {
+			t.Fatalf("%s: population diverged", name)
+		}
+	}
+	check("single-tree replay", single)
+	check("resharded replay", resharded)
+	if live.Stats().Probes == 0 {
+		t.Fatalf("workload issued no probes: recovery path not exercised")
+	}
+}

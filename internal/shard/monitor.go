@@ -1,0 +1,192 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"srb/internal/core"
+	"srb/internal/geom"
+	"srb/internal/obs"
+	"srb/internal/query"
+)
+
+// ShardedMonitor is a thread-safe monitoring server whose object index is
+// partitioned across N goroutine-confined shards. It presents exactly the
+// srb.ConcurrentMonitor surface — remote.Server, the simulator, and srb-load
+// drive it unchanged — while the Forest underneath routes, migrates,
+// scatters, and gathers. All monitor semantics (results, safe regions,
+// stats, journaling, snapshots) are bit-identical to a single-tree monitor;
+// the differential harness in this package proves it at 1, 2, 4 and 8
+// shards, including across a crash-recovery cycle.
+type ShardedMonitor struct {
+	mu     sync.Mutex
+	mon    *core.Monitor
+	forest *Forest
+}
+
+// New creates a sharded monitor with n shards. The prober and onUpdate
+// callbacks are invoked while the internal lock is held: they must not call
+// back into the monitor. Close releases the shard workers when done.
+func New(opt core.Options, n int, prober core.Prober, onUpdate func(core.ResultUpdate)) (*ShardedMonitor, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
+	}
+	mon := core.New(opt, prober, onUpdate)
+	f := NewForest(opt, n)
+	if err := mon.SetIndex(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &ShardedMonitor{mon: mon, forest: f}, nil
+}
+
+// Close stops the shard workers. The monitor must not be used afterwards.
+func (s *ShardedMonitor) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.forest.Close()
+}
+
+// Core returns the wrapped core.Monitor for recovery wiring (journal replay
+// drives the monitor directly) and tests. Callers must serialize access
+// themselves while using it.
+func (s *ShardedMonitor) Core() *core.Monitor { return s.mon }
+
+// Forest returns the sharded index for per-shard diagnostics.
+func (s *ShardedMonitor) Forest() *Forest { return s.forest }
+
+// NumShards returns the shard count.
+func (s *ShardedMonitor) NumShards() int { return s.forest.NumShards() }
+
+// SetObs attaches an observability sink to the monitor and the forest.
+func (s *ShardedMonitor) SetObs(sink *obs.Sink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mon.SetObs(sink)
+	s.forest.SetObs(sink)
+}
+
+// SetFlightRecorder attaches a flight recorder to the monitor and the
+// forest (migration events).
+func (s *ShardedMonitor) SetFlightRecorder(fr *obs.FlightRecorder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mon.SetFlightRecorder(fr)
+	s.forest.SetFlightRecorder(fr)
+}
+
+// SetTime advances the monitor clock.
+func (s *ShardedMonitor) SetTime(t float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mon.SetTime(t)
+}
+
+// AddObject registers a moving object.
+func (s *ShardedMonitor) AddObject(id uint64, p geom.Point) []core.SafeRegionUpdate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon.AddObject(id, p)
+}
+
+// RemoveObject deregisters an object.
+func (s *ShardedMonitor) RemoveObject(id uint64) []core.SafeRegionUpdate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon.RemoveObject(id)
+}
+
+// Update processes a location update.
+func (s *ShardedMonitor) Update(id uint64, p geom.Point) []core.SafeRegionUpdate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon.Update(id, p)
+}
+
+// RegisterRange registers a continuous range query.
+func (s *ShardedMonitor) RegisterRange(id query.ID, rect geom.Rect) ([]uint64, []core.SafeRegionUpdate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon.RegisterRange(id, rect)
+}
+
+// RegisterKNN registers a continuous kNN query.
+func (s *ShardedMonitor) RegisterKNN(id query.ID, pt geom.Point, k int, ordered bool) ([]uint64, []core.SafeRegionUpdate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon.RegisterKNN(id, pt, k, ordered)
+}
+
+// RegisterCount registers an aggregate COUNT range query.
+func (s *ShardedMonitor) RegisterCount(id query.ID, rect geom.Rect) (int, []core.SafeRegionUpdate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon.RegisterCount(id, rect)
+}
+
+// RegisterWithinDistance registers a circular range query.
+func (s *ShardedMonitor) RegisterWithinDistance(id query.ID, center geom.Point, radius float64) ([]uint64, []core.SafeRegionUpdate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon.RegisterWithinDistance(id, center, radius)
+}
+
+// Deregister removes a query.
+func (s *ShardedMonitor) Deregister(id query.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon.Deregister(id)
+}
+
+// Results returns the current results of a query.
+func (s *ShardedMonitor) Results(id query.ID) ([]uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon.Results(id)
+}
+
+// SafeRegion returns the current safe region of an object.
+func (s *ShardedMonitor) SafeRegion(id uint64) (geom.Rect, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon.SafeRegion(id)
+}
+
+// Stats returns the monitor's work counters.
+func (s *ShardedMonitor) Stats() core.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon.Stats()
+}
+
+// NumObjects returns the number of registered objects.
+func (s *ShardedMonitor) NumObjects() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon.NumObjects()
+}
+
+// NumQueries returns the number of registered queries.
+func (s *ShardedMonitor) NumQueries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon.NumQueries()
+}
+
+// SaveSnapshot writes the monitor state to w. The format is shard-count
+// independent: a snapshot written under one -shards value reloads correctly
+// under another, because routing is a pure function of each safe region.
+func (s *ShardedMonitor) SaveSnapshot(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon.SaveSnapshot(w)
+}
+
+// LoadSnapshot restores monitor state saved by SaveSnapshot (sharded or
+// not) into this empty monitor, re-routing every object to its shard.
+func (s *ShardedMonitor) LoadSnapshot(r io.Reader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mon.LoadSnapshot(r)
+}

@@ -1,0 +1,100 @@
+package shard
+
+import (
+	"fmt"
+	"strconv"
+
+	"srb/internal/obs"
+)
+
+// forestObs holds the forest's bound instruments, one slot per shard for the
+// labeled families. Nil when uninstrumented; every hook is a single branch,
+// mirroring core's monObs convention.
+type forestObs struct {
+	objects    []*obs.Gauge   // srb_shard_objects{shard}
+	strays     *obs.Gauge     // srb_shard_stray_objects
+	migrations []*obs.Counter // srb_shard_migrations_total{shard} (arrivals)
+	scatters   []*obs.Counter // srb_shard_scatter_total{shard}
+	visits     []*obs.Counter // srb_shard_visits_total{shard}
+	fanout     *obs.Histogram // srb_shard_scatter_fanout
+}
+
+// scatterFanoutBuckets bounds the fanout histogram: a scatter touching one
+// shard is the common case, the full broadcast the worst.
+func scatterFanoutBuckets() []float64 {
+	return []float64{1, 2, 3, 4, 6, 8, 12, 16}
+}
+
+// SetObs attaches an observability sink to the forest (nil detaches).
+// Instrument registration is idempotent per registry; the shard label is the
+// stripe index as a decimal string.
+func (f *Forest) SetObs(sink *obs.Sink) {
+	if sink == nil || sink.Registry() == nil {
+		f.fobs = nil
+		return
+	}
+	r := sink.Registry()
+	n := f.part.N()
+	o := &forestObs{
+		objects:    make([]*obs.Gauge, n),
+		migrations: make([]*obs.Counter, n),
+		scatters:   make([]*obs.Counter, n),
+		visits:     make([]*obs.Counter, n),
+	}
+	for i := 0; i < n; i++ {
+		s := strconv.Itoa(i)
+		o.objects[i] = r.Gauge("srb_shard_objects", "Objects owned by each shard of the sharded object index.", "shard", s)
+		o.migrations[i] = r.Counter("srb_shard_migrations_total", "Objects that migrated into each shard across a stripe boundary.", "shard", s)
+		o.scatters[i] = r.Counter("srb_shard_scatter_total", "Scatter-gather range searches executed by each shard.", "shard", s)
+		o.visits[i] = r.Counter("srb_shard_visits_total", "Best-first kNN node expansions served by each shard (cross-shard candidate exchange).", "shard", s)
+	}
+	o.strays = r.Gauge("srb_shard_stray_objects", "Objects indexed off their routed stripe after an in-place shrink (migration deferred).")
+	o.fanout = r.Histogram("srb_shard_scatter_fanout", "Shards contributing candidates per scatter-gather range search.", scatterFanoutBuckets())
+	for i := range f.counts {
+		o.objects[i].Set(float64(f.counts[i]))
+	}
+	f.fobs = o
+}
+
+// SetFlightRecorder attaches a flight recorder; migrations are recorded into
+// it as "migrate" events. A nil recorder detaches.
+func (f *Forest) SetFlightRecorder(fr *obs.FlightRecorder) { f.flight = fr }
+
+func (f *Forest) noteCount(shard int) {
+	if f.fobs == nil {
+		return
+	}
+	f.fobs.objects[shard].Set(float64(f.counts[shard]))
+	f.fobs.strays.Set(float64(f.strayN))
+}
+
+func (f *Forest) noteMigration(id uint64, from, to int) {
+	if f.fobs != nil {
+		f.fobs.migrations[to].Inc()
+	}
+	if f.flight != nil {
+		f.flight.Record(obs.FlightEvent{
+			Kind: obs.FlightMigrate,
+			Obj:  id,
+			Note: fmt.Sprintf("shard %d->%d", from, to),
+		})
+	}
+}
+
+func (f *Forest) noteScatter(fanout int) {
+	if f.fobs == nil {
+		return
+	}
+	for i, w := range f.workers {
+		if w.tree.Len() > 0 {
+			f.fobs.scatters[i].Inc()
+		}
+	}
+	f.fobs.fanout.Observe(float64(fanout))
+}
+
+func (f *Forest) noteVisit(shard int) {
+	if f.fobs != nil {
+		f.fobs.visits[shard].Inc()
+	}
+}

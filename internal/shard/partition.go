@@ -1,0 +1,135 @@
+// Package shard partitions the safe-region monitor's object index across N
+// goroutine-confined shards behind the core.ObjIndex contract, and wraps the
+// whole assembly in a ShardedMonitor presenting the same thread-safe surface
+// as srb.ConcurrentMonitor.
+//
+// The split point is deliberately narrow: the coordinator (one core.Monitor)
+// keeps every piece of query state — the grid index, result sets, reverse
+// result index, probe bookkeeping, stats, ledger — and only the R*-tree over
+// object safe regions is sharded. Each shard owns a contiguous stripe of
+// grid-cell columns and a private R*-tree confined to one worker goroutine;
+// the Forest routes point operations to the owning shard (migrating objects
+// whose region crosses a stripe boundary), scatters range searches to all
+// shards in parallel, and gathers kNN candidates through a per-node Visit
+// protocol that a later PR can move behind the wire. Because the evalPQ
+// comparator and candidate collection in internal/core are canonicalized,
+// every monitor outcome — safe regions, results, Stats, journal — is
+// bit-identical to the single-tree run (differential_test.go proves it at
+// 1/2/4/8 shards). See ARCHITECTURE.md for the full contract.
+package shard
+
+import (
+	"fmt"
+
+	"srb/internal/core"
+	"srb/internal/geom"
+)
+
+// Partition is the pure spatial ownership function: it divides the monitored
+// space into N vertical stripes of whole grid-cell columns (the base M/N
+// columns per shard, with the first M mod N stripes one column wider) and
+// routes a safe region to the stripe containing its center. Routing depends
+// only on the rect and the (space, M, N) triple — never on index state — so
+// a snapshot written under one shard count reloads correctly under another,
+// and a future remote shard can compute ownership locally.
+type Partition struct {
+	n     int // shard count
+	m     int // grid resolution (columns)
+	space geom.Rect
+	cellW float64
+}
+
+// NewPartition builds the stripe partition for an n-shard index over the
+// monitor's effective space and grid resolution (core.Options.WithDefaults).
+// n is clamped below by 1; an n larger than the column count M leaves the
+// trailing shards empty (legal but wasteful — see OPERATIONS.md "Choosing a
+// shard count").
+func NewPartition(opt core.Options, n int) Partition {
+	opt = opt.WithDefaults()
+	if n < 1 {
+		n = 1
+	}
+	return Partition{n: n, m: opt.GridM, space: opt.Space, cellW: opt.Space.Width() / float64(opt.GridM)}
+}
+
+// N returns the shard count.
+func (p Partition) N() int { return p.n }
+
+// Route returns the shard owning a safe region: the stripe whose column
+// range contains the rect's center. Centers on a column boundary belong to
+// the right-hand column, mirroring the grid index's half-open cells.
+func (p Partition) Route(r geom.Rect) int {
+	cx := (r.MinX + r.MaxX) / 2
+	col := int((cx - p.space.MinX) / p.cellW)
+	if col < 0 {
+		col = 0
+	}
+	if col >= p.m {
+		col = p.m - 1
+	}
+	return p.shardOfColumn(col)
+}
+
+// shardOfColumn maps a grid column to its owning stripe: the first M mod N
+// stripes take base+1 columns, the rest take base.
+func (p Partition) shardOfColumn(col int) int {
+	base := p.m / p.n
+	if base == 0 {
+		return col // more shards than columns: one column per stripe, rest empty
+	}
+	extra := p.m % p.n
+	wide := extra * (base + 1)
+	if col < wide {
+		return col / (base + 1)
+	}
+	return extra + (col-wide)/base
+}
+
+// StripeRect returns the region of space owned by shard i (empty rect when
+// the shard owns no columns). Diagnostic only — routing never consults it.
+func (p Partition) StripeRect(i int) geom.Rect {
+	lo, hi := p.columnRange(i)
+	if lo >= hi {
+		return geom.Rect{}
+	}
+	return geom.Rect{
+		MinX: p.space.MinX + float64(lo)*p.cellW,
+		MinY: p.space.MinY,
+		MaxX: p.space.MinX + float64(hi)*p.cellW,
+		MaxY: p.space.MaxY,
+	}
+}
+
+// columnRange returns the half-open [lo, hi) column interval of shard i.
+func (p Partition) columnRange(i int) (int, int) {
+	base := p.m / p.n
+	if base == 0 {
+		if i < p.m {
+			return i, i + 1
+		}
+		return p.m, p.m
+	}
+	extra := p.m % p.n
+	if i < extra {
+		return i * (base + 1), (i + 1) * (base + 1)
+	}
+	lo := extra*(base+1) + (i-extra)*base
+	return lo, lo + base
+}
+
+// checkPartition verifies the stripe arithmetic covers every column exactly
+// once (used by Forest.CheckInvariants).
+func (p Partition) check() error {
+	prev := 0
+	for i := 0; i < p.n; i++ {
+		lo, hi := p.columnRange(i)
+		if lo != prev || hi < lo {
+			return fmt.Errorf("shard: partition stripe %d covers [%d,%d), want start %d", i, lo, hi, prev)
+		}
+		prev = hi
+	}
+	if prev != p.m {
+		return fmt.Errorf("shard: partition covers %d of %d columns", prev, p.m)
+	}
+	return nil
+}

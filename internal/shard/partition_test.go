@@ -1,0 +1,78 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"srb/internal/core"
+	"srb/internal/geom"
+)
+
+func optsWithGrid(m int) core.Options {
+	return core.Options{Space: geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, GridM: m}
+}
+
+// Every (M, N) combination must cover each grid column exactly once, and
+// Route must agree with the stripe intervals.
+func TestPartitionCoverage(t *testing.T) {
+	for m := 1; m <= 24; m++ {
+		for n := 1; n <= 20; n++ {
+			p := NewPartition(optsWithGrid(m), n)
+			if err := p.check(); err != nil {
+				t.Fatalf("M=%d N=%d: %v", m, n, err)
+			}
+			for col := 0; col < m; col++ {
+				s := p.shardOfColumn(col)
+				if s < 0 || s >= n {
+					t.Fatalf("M=%d N=%d: column %d routed to shard %d", m, n, col, s)
+				}
+				lo, hi := p.columnRange(s)
+				if col < lo || col >= hi {
+					t.Fatalf("M=%d N=%d: column %d routed to shard %d owning [%d,%d)", m, n, col, s, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// Route is a pure function of the rect center: clamped at the space edges,
+// boundary centers belong to the right-hand column, and stripe rects agree.
+func TestPartitionRoute(t *testing.T) {
+	p := NewPartition(optsWithGrid(10), 4)
+	at := func(x float64) geom.Rect { return geom.RectAround(geom.Pt(x, 0.5)) }
+	if got := p.Route(at(-5)); got != 0 {
+		t.Fatalf("below-space center routed to %d, want 0", got)
+	}
+	if got := p.Route(at(5)); got != p.N()-1 {
+		t.Fatalf("above-space center routed to %d, want %d", got, p.N()-1)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		w, h := rng.Float64()*0.2, rng.Float64()*0.2
+		r := geom.Rect{MinX: x - w, MinY: y - h, MaxX: x + w, MaxY: y + h}
+		s := p.Route(r)
+		sr := p.StripeRect(s)
+		cx := (r.MinX + r.MaxX) / 2
+		if cx < sr.MinX || cx > sr.MaxX {
+			t.Fatalf("rect centered at x=%v routed to shard %d owning %v", cx, s, sr)
+		}
+	}
+}
+
+// With more shards than columns, each leading shard owns one column and the
+// trailing shards own nothing; routing still lands on an owning shard.
+func TestPartitionMoreShardsThanColumns(t *testing.T) {
+	p := NewPartition(optsWithGrid(4), 7)
+	if err := p.check(); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	for i := 4; i < 7; i++ {
+		if r := p.StripeRect(i); r.Width() > 0 {
+			t.Fatalf("shard %d should own nothing, owns %v", i, r)
+		}
+	}
+	if s := p.Route(geom.RectAround(geom.Pt(0.99, 0.5))); s != 3 {
+		t.Fatalf("rightmost column routed to %d, want 3", s)
+	}
+}

@@ -1,0 +1,25 @@
+package srb
+
+import (
+	"srb/internal/shard"
+)
+
+// ShardedMonitor is a thread-safe monitoring server whose object index is
+// partitioned across N goroutine-confined shards: each shard owns a
+// contiguous stripe of grid-cell columns and a private R*-tree, and a router
+// migrates objects across stripe boundaries and scatter-gathers
+// boundary-straddling searches. Every externally visible outcome — results,
+// safe regions, stats, snapshots, journals — is bit-identical to a
+// single-tree Monitor driven with the same operations; the shard layer buys
+// smaller trees and a seam for distributing the index without changing
+// semantics. See ARCHITECTURE.md for the shard contract.
+type ShardedMonitor = shard.ShardedMonitor
+
+// NewShardedMonitor creates a sharded monitoring server with the given shard
+// count (at least 1; counts beyond the grid's column resolution leave
+// trailing shards empty). The prober and onUpdate callbacks are invoked while
+// the internal lock is held: they must not call back into the monitor. Close
+// must be called to release the shard workers.
+func NewShardedMonitor(opt Options, shards int, prober Prober, onUpdate func(ResultUpdate)) (*ShardedMonitor, error) {
+	return shard.New(opt, shards, prober, onUpdate)
+}
